@@ -1,0 +1,43 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one of the paper's tables or figures at the
+full evaluation size (1024-element application vectors), asserts the
+reproduction-shape invariants, and writes the series to
+``results/<name>.txt`` so the numbers used in EXPERIMENTS.md are
+regenerable artifacts.
+
+pytest-benchmark is used in pedantic single-round mode: the quantity being
+measured is the simulator's wall-clock for a full experiment, and the
+interesting output is the simulated-cycle series, not a timing
+distribution.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(results_dir):
+    def _write(name: str, text: str) -> pathlib.Path:
+        path = results_dir / name
+        path.write_text(text + "\n")
+        return path
+
+    return _write
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its
+    result (full-grid simulations are too heavy for repeated rounds)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""Extension experiment: a dense stride sweep (1..32) beyond the paper's
+six sample points, on the alignment-proof ``scale`` kernel.
+
+This fills in the curve the paper samples: the PVA's cost is a step
+function of ``2**s`` (the trailing-zero count of the stride mod M), flat
+at the bus bound for every odd stride and climbing only at the
+power-of-two cliffs — while the conventional system's cost climbs with
+the raw stride."""
+
+from benchmarks.conftest import run_once
+from repro.baselines.cacheline_serial import CacheLineSerialSDRAM
+from repro.core.decode import decompose_stride
+from repro.experiments.report import format_table
+from repro.kernels import build_trace, kernel_by_name
+from repro.params import SystemParams
+from repro.pva import PVAMemorySystem
+
+
+def test_extended_stride_sweep(benchmark, write_artifact):
+    params = SystemParams()
+
+    def build():
+        rows = []
+        for stride in range(1, 33):
+            trace = build_trace(
+                kernel_by_name("scale"),
+                stride=stride,
+                params=params,
+                elements=512,
+            )
+            pva = PVAMemorySystem(params).run(trace).cycles
+            serial = CacheLineSerialSDRAM(params).run(trace).cycles
+            rows.append(
+                (
+                    stride,
+                    decompose_stride(stride, params.num_banks).banks_hit,
+                    pva,
+                    serial,
+                    f"{serial / pva:.1f}x",
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    write_artifact(
+        "extended_stride_sweep.txt",
+        format_table(
+            ("stride", "banks hit", "pva cycles", "cacheline cycles", "speedup"),
+            rows,
+        ),
+    )
+
+    by_stride = {r[0]: r for r in rows}
+    # Equal parallelism class => equal PVA cost: all odd strides match.
+    odd_cycles = {by_stride[s][2] for s in range(1, 33, 2)}
+    assert len(odd_cycles) == 1
+    # The cliffs: cost non-decreasing as parallelism halves.
+    assert by_stride[16][2] >= by_stride[8][2] >= by_stride[4][2]
+    assert by_stride[4][2] >= by_stride[2][2] >= by_stride[1][2]
+    # Stride 32 ( == 2M ) hits a single bank like stride 16.
+    assert by_stride[32][1] == 1
+    # The conventional system instead tracks the raw stride.
+    assert by_stride[31][3] > by_stride[16][3] > by_stride[4][3]

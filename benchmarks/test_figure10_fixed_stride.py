@@ -1,0 +1,26 @@
+"""Figure 10: comparative performance of all kernels at fixed strides 8,
+16 and 19 (continuation of figure 9)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure10
+from repro.experiments.grid import EVAL_KERNELS, run_grid
+
+
+def test_figure10(benchmark, write_artifact):
+    def build():
+        grid = run_grid(strides=(8, 16, 19))
+        return grid, figure10(grid)
+
+    grid, fig = run_once(benchmark, build)
+    write_artifact("figure10.txt", fig.text)
+
+    # Paper: at stride 16 the cache-line system runs at 638-1112% of the
+    # PVA; scale (single-array, alignment-proof) must land in a band
+    # around that, and stride 19 must be the extreme for every kernel.
+    scale16 = grid.normalized("scale", 16, "cacheline-serial")
+    assert 5.0 <= scale16 <= 13.0, scale16
+    for kernel in EVAL_KERNELS:
+        ratio19 = grid.normalized(kernel, 19, "cacheline-serial")
+        assert ratio19 > 15.0, (kernel, ratio19)
+        assert ratio19 > grid.normalized(kernel, 16, "cacheline-serial")
+        assert ratio19 > grid.normalized(kernel, 8, "cacheline-serial")

@@ -1,0 +1,32 @@
+"""Figure 7: comparative performance with varying stride — copy, copy2,
+saxpy, scale on all four memory systems (1024-element vectors, strides
+{1, 2, 4, 8, 16, 19}, min/max over the five relative alignments)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure7
+from repro.experiments.grid import FIGURE7_KERNELS, run_grid
+
+
+def test_figure7(benchmark, write_artifact):
+    def build():
+        grid = run_grid(kernels=FIGURE7_KERNELS)
+        return grid, figure7(grid)
+
+    grid, fig = run_once(benchmark, build)
+    write_artifact("figure7.txt", fig.text)
+
+    # Shape invariants of section 6.3 on the full-size data.
+    for kernel in FIGURE7_KERNELS:
+        # Unit-stride parity with the cache-line system (100-109%).
+        parity = grid.normalized(kernel, 1, "cacheline-serial")
+        assert 0.95 <= parity <= 1.2, (kernel, parity)
+        # Prime stride: PVA recovers to unit-stride speed.
+        t1 = grid.min_cycles(kernel, 1, "pva-sdram")
+        t19 = grid.min_cycles(kernel, 19, "pva-sdram")
+        assert abs(t19 - t1) / t1 < 0.1, (kernel, t1, t19)
+        # The cache-line system degrades monotonically with stride.
+        ratios = [
+            grid.normalized(kernel, s, "cacheline-serial")
+            for s in grid.strides
+        ]
+        assert ratios == sorted(ratios), (kernel, ratios)

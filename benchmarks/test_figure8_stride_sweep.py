@@ -1,0 +1,27 @@
+"""Figure 8: comparative performance with varying stride (continuation) —
+scale2, swap, tridiag, vaxpy."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure8
+from repro.experiments.grid import FIGURE8_KERNELS, run_grid
+
+
+def test_figure8(benchmark, write_artifact):
+    def build():
+        grid = run_grid(kernels=FIGURE8_KERNELS)
+        return grid, figure8(grid)
+
+    grid, fig = run_once(benchmark, build)
+    write_artifact("figure8.txt", fig.text)
+
+    for kernel in FIGURE8_KERNELS:
+        # PVA beats the serial gathering system at every stride.
+        for stride in grid.strides:
+            assert grid.min_cycles(
+                kernel, stride, "gathering-serial"
+            ) > grid.min_cycles(kernel, stride, "pva-sdram")
+        # Stride 16 (single-bank) is the PVA's worst stride at the worst
+        # alignment.
+        worst16 = grid.max_cycles(kernel, 16, "pva-sdram")
+        for stride in (1, 2, 4, 8, 19):
+            assert worst16 >= grid.max_cycles(kernel, stride, "pva-sdram")

@@ -1,0 +1,30 @@
+"""Figure 9: comparative performance of all kernels at fixed strides 1
+and 4, annotated with execution time normalized to the minimum PVA-SDRAM
+time per access pattern."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure9
+from repro.experiments.grid import EVAL_KERNELS, run_grid
+
+
+def test_figure9(benchmark, write_artifact):
+    def build():
+        grid = run_grid(strides=(1, 4))
+        return grid, figure9(grid)
+
+    grid, fig = run_once(benchmark, build)
+    write_artifact("figure9.txt", fig.text)
+
+    for kernel in EVAL_KERNELS:
+        # Paper: unit-stride cache-line serial between 100% and 109% of
+        # PVA minimum (quoted for copy/scale/copy2/scale2/swap/vaxpy).
+        # tridiag's x[i-1] read is one word off line alignment, so each
+        # of its commands spans two lines in the serial system — the
+        # paper pointedly omits tridiag from the 100-109% list.
+        parity = grid.normalized(kernel, 1, "cacheline-serial")
+        upper = 1.45 if kernel == "tridiag" else 1.2
+        assert 0.95 <= parity <= upper, (kernel, parity)
+        # Paper: stride 4 between 307% and 408% (honest accounting may
+        # widen slightly).
+        stride4 = grid.normalized(kernel, 4, "cacheline-serial")
+        assert 2.5 <= stride4 <= 5.0, (kernel, stride4)

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the library's hot paths (true wall-clock
+measurements, multiple rounds): the FirstHit closed forms, PLA lookups,
+and the cycle-level simulator's throughput in simulated cycles/second.
+
+These guard against performance regressions in the Python implementation
+itself — the quantity that bounds how large an experiment grid stays
+practical."""
+
+from repro.core.decode import decompose_stride
+from repro.core.firsthit import first_hit
+from repro.core.pla import K1PLA
+from repro.kernels import build_trace, kernel_by_name
+from repro.params import SystemParams
+from repro.pva import PVAMemorySystem
+from repro.types import Vector
+
+PROTO = SystemParams()
+PLA = K1PLA(16)
+
+
+def test_decompose_stride_speed(benchmark):
+    def run():
+        total = 0
+        for stride in range(1, 65):
+            total += decompose_stride(stride, 16).delta
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_first_hit_speed(benchmark):
+    vector = Vector(base=21, stride=19, length=32)
+
+    def run():
+        hits = 0
+        for bank in range(16):
+            if first_hit(vector, bank, 16) is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(run) == 16
+
+
+def test_pla_lookup_speed(benchmark):
+    def run():
+        total = 0
+        for stride in range(1, 33):
+            for distance in range(16):
+                k = PLA.first_hit_index(stride, distance)
+                if k is not None:
+                    total += k
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_simulator_throughput(benchmark):
+    """Simulated cycles per wall-clock second for a full kernel run."""
+    trace = build_trace(
+        kernel_by_name("copy"), stride=1, params=PROTO, elements=256
+    )
+
+    def run():
+        return PVAMemorySystem(PROTO).run(trace).cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0

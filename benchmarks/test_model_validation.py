@@ -1,0 +1,76 @@
+"""Model validation: the cycle-level simulators versus the closed-form
+models of `repro.analysis` across the evaluation grid.
+
+Three families of checks:
+* serial baselines match their analytic formulas *exactly*;
+* the PVA never beats its lower bounds (bus occupancy, busiest bank);
+* at full-parallelism strides the PVA sits within 10% of the bus bound
+  (the simulator leaves nothing meaningful on the table)."""
+
+from benchmarks.conftest import run_once
+from repro.analysis.model import (
+    bus_bound_cycles,
+    cacheline_serial_cycles,
+    gathering_serial_cycles,
+    pva_lower_bound,
+)
+from repro.baselines.cacheline_serial import CacheLineSerialSDRAM
+from repro.baselines.gathering_serial import GatheringSerialSDRAM
+from repro.experiments.report import format_table
+from repro.kernels import build_trace, kernel_by_name
+from repro.params import SystemParams
+from repro.pva import PVAMemorySystem
+
+
+def test_model_validation(benchmark, write_artifact):
+    params = SystemParams()
+
+    def build():
+        rows = []
+        for kernel in ("copy", "saxpy", "scale", "swap", "tridiag", "vaxpy"):
+            for stride in (1, 2, 4, 8, 16, 19):
+                trace = build_trace(
+                    kernel_by_name(kernel),
+                    stride=stride,
+                    params=params,
+                    elements=512,
+                )
+                pva = PVAMemorySystem(params).run(trace).cycles
+                bound = pva_lower_bound(trace, params)
+                serial = CacheLineSerialSDRAM(params).run(trace).cycles
+                gather = GatheringSerialSDRAM(params).run(trace).cycles
+                rows.append(
+                    (
+                        kernel,
+                        stride,
+                        bound,
+                        pva,
+                        f"{pva / bound:.2f}",
+                        serial == cacheline_serial_cycles(trace, params),
+                        gather == gathering_serial_cycles(trace, params),
+                    )
+                )
+        return rows
+
+    rows = run_once(benchmark, build)
+    write_artifact(
+        "model_validation.txt",
+        format_table(
+            (
+                "kernel",
+                "stride",
+                "lower bound",
+                "pva cycles",
+                "pva/bound",
+                "cacheline==formula",
+                "gathering==formula",
+            ),
+            rows,
+        ),
+    )
+
+    for kernel, stride, bound, pva, ratio, serial_ok, gather_ok in rows:
+        assert serial_ok and gather_ok, (kernel, stride)
+        assert pva >= bound, (kernel, stride, pva, bound)
+        if stride in (1, 19):  # full parallelism: bus-bound
+            assert pva <= bound * 1.10, (kernel, stride, pva, bound)

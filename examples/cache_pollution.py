@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Chapter 1's motivation, end to end: what a strided loop costs with a
+classical cache hierarchy versus a vector-aware memory controller.
+
+The script pushes the scalar access stream of ``for i: use x[i*S]``
+through a 256 KB set-associative L2 (write-back, write-allocate), runs
+the resulting line-fill traffic on the conventional memory system, and
+compares against the same loop expressed as gathered vector commands on
+the PVA — reporting bus traffic, cache utilization and cycles.
+
+Run:  python examples/cache_pollution.py
+"""
+
+from repro import (
+    AccessType,
+    CacheLineSerialSDRAM,
+    PVAMemorySystem,
+    SystemParams,
+    Vector,
+    VectorCommand,
+)
+from repro.cache.frontend import CacheFrontEnd
+
+LENGTH = 1024
+
+
+def main() -> None:
+    params = SystemParams()
+    print(
+        f"strided loop over {LENGTH} elements; L2 line = "
+        f"{params.line_bytes} bytes\n"
+    )
+    header = (
+        f"{'stride':>6} {'cached words':>13} {'useful words':>13} "
+        f"{'L2 util':>8} {'conv cycles':>12} {'PVA cycles':>11} {'win':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for stride in (1, 2, 4, 8, 16, 19, 32):
+        frontend = CacheFrontEnd(params)
+        cached_commands = frontend.feed(
+            CacheFrontEnd.strided_loop(0, stride, LENGTH)
+        )
+        cached_words = frontend.traffic_words(cached_commands)
+        utilization = frontend.cache.stats.utilization(
+            params.cache_line_words
+        )
+        conventional = CacheLineSerialSDRAM(params).run(cached_commands)
+
+        vector = Vector(base=0, stride=stride, length=LENGTH)
+        gathered = [
+            VectorCommand(vector=piece, access=AccessType.READ)
+            for piece in vector.split(params.cache_line_words)
+        ]
+        pva = PVAMemorySystem(params).run(gathered)
+
+        print(
+            f"{stride:>6} {cached_words:>13} {LENGTH:>13} "
+            f"{utilization * 100:>7.0f}% {conventional.cycles:>12} "
+            f"{pva.cycles:>11} {conventional.cycles / pva.cycles:>5.1f}x"
+        )
+    print(
+        "\nTwo separate losses stack up for the cached path as stride\n"
+        "grows: the bus moves up to 32x more words than the loop uses,\n"
+        "and the cache keeps none of them useful (utilization ~ 1/stride).\n"
+        "The PVA moves exactly the useful words and compacts them into\n"
+        "dense lines — that is the whole paper in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

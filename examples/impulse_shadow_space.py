@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Impulse-style shadow address spaces (section 3.2): how a processor
+with no vector instructions at all still benefits from the PVA.
+
+The Impulse memory controller lets software map a *shadow* region whose
+dense addresses alias a strided view of real memory.  The CPU then just
+line-fills the shadow region — ordinary cache behaviour — and each fill
+arrives at the controller as one base-stride vector command for the PVA
+to gather.
+
+The demo builds a row-major matrix, configures one shadow region per
+column of interest, and reads columns as if they were dense arrays —
+checking the data and comparing cycles against the conventional path.
+
+Run:  python examples/impulse_shadow_space.py
+"""
+
+from repro import (
+    CacheLineSerialSDRAM,
+    PVAMemorySystem,
+    SystemParams,
+)
+from repro.cache.frontend import CacheFrontEnd
+from repro.extensions import ShadowRegion, ShadowSpace
+
+ROWS, COLS = 256, 96
+
+
+def main() -> None:
+    params = SystemParams()
+    system = PVAMemorySystem(params)
+
+    # A row-major matrix at physical word 0.
+    for r in range(ROWS):
+        for c in range(COLS):
+            system.poke(r * COLS + c, r * 1000 + c)
+
+    # Configure shadow regions: column c appears as a dense vector at
+    # shadow base c * ROWS.  (In Impulse the OS/compiler would set this
+    # up; shadow addresses here live in their own namespace.)
+    space = ShadowSpace()
+    for column in (3, 17, 64):
+        space.configure(
+            ShadowRegion(
+                shadow_base=column * ROWS,
+                target_base=column,
+                stride=COLS,
+                length=ROWS,
+            )
+        )
+
+    total_cycles = 0
+    for column in (3, 17, 64):
+        commands = space.fill_commands(column * ROWS, ROWS, params)
+        result = system.run(commands, capture_data=True)
+        dense = [v for line in result.read_lines for v in line]
+        assert dense == [r * 1000 + column for r in range(ROWS)], (
+            "shadow view returned wrong column data"
+        )
+        total_cycles += result.cycles
+        print(
+            f"column {column:>3}: {len(commands)} shadow line fills, "
+            f"{result.cycles} cycles, data verified"
+        )
+
+    # The conventional path: the CPU's strided column loop filtered
+    # through an L2, hitting the line-fill memory system.
+    conventional_cycles = 0
+    for column in (3, 17, 64):
+        frontend = CacheFrontEnd(params)
+        fills = frontend.feed(
+            CacheFrontEnd.strided_loop(column, COLS, ROWS)
+        )
+        conventional_cycles += CacheLineSerialSDRAM(params).run(fills).cycles
+
+    print(
+        f"\nshadow-space path: {total_cycles} cycles; conventional "
+        f"cached path: {conventional_cycles} cycles "
+        f"({conventional_cycles / total_cycles:.1f}x)."
+    )
+    print(
+        "The CPU-side code is identical in both cases — dense loads.\n"
+        "The win comes entirely from the controller gathering the strided\n"
+        "backing data instead of hauling whole lines per element."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The paper's motivating workload: walking a row-major matrix by column.
+
+A row-major ``R x C`` matrix walked down a column is a base-stride vector
+with stride ``C``: the access pattern that wrecks cache-line-fill memory
+systems (one 128-byte line fetched per useful 4-byte element) and that
+the PVA's scatter/gather turns back into dense lines.
+
+The example:
+  1. stores a matrix into the simulated memory,
+  2. gathers one column through the PVA unit and checks the data,
+  3. compares column-walk bandwidth across memory systems for several
+     matrix widths — including a power-of-two width (the worst case, all
+     elements in one bank) and a prime width (the best case).
+
+Run:  python examples/matrix_column_walk.py
+"""
+
+from repro import (
+    AccessType,
+    CacheLineSerialSDRAM,
+    GatheringSerialSDRAM,
+    PVAMemorySystem,
+    SystemParams,
+    Vector,
+    VectorCommand,
+)
+
+ROWS = 256
+
+
+def store_matrix(system: PVAMemorySystem, base: int, rows: int, cols: int):
+    """Row-major matrix with recognizable element values."""
+    for r in range(rows):
+        for c in range(cols):
+            system.poke(base + r * cols + c, r * 1000 + c)
+
+
+def column_trace(base: int, rows: int, cols: int, column: int, params):
+    """The command trace a column walk generates: one gathered line per
+    32 column elements."""
+    vector = Vector(base=base + column, stride=cols, length=rows)
+    return [
+        VectorCommand(vector=piece, access=AccessType.READ)
+        for piece in vector.split(params.cache_line_words)
+    ]
+
+
+def main() -> None:
+    params = SystemParams()
+
+    # --- 1+2: functional column gather -------------------------------
+    cols = 48
+    system = PVAMemorySystem(params)
+    store_matrix(system, base=0, rows=ROWS, cols=cols)
+    trace = column_trace(0, ROWS, cols, column=5, params=params)
+    result = system.run(trace, capture_data=True)
+    gathered = [v for line in result.read_lines for v in line]
+    expected = [r * 1000 + 5 for r in range(ROWS)]
+    assert gathered == expected, "column gather returned wrong data!"
+    print(
+        f"Gathered column 5 of a {ROWS}x{cols} matrix: "
+        f"{len(gathered)} elements in {result.cycles} cycles "
+        f"({result.cycles / ROWS:.2f} cycles/element).\n"
+    )
+
+    # --- 3: bandwidth comparison across matrix widths ----------------
+    print(
+        f"{'matrix width':>12} {'PVA':>8} {'cacheline':>10} "
+        f"{'gathering':>10}   winner"
+    )
+    for cols in (32, 33, 37, 48, 64, 67):
+        trace = column_trace(0, ROWS, cols, column=0, params=params)
+        pva = PVAMemorySystem(params).run(trace).cycles
+        cache = CacheLineSerialSDRAM(params).run(trace).cycles
+        gather = GatheringSerialSDRAM(params).run(trace).cycles
+        best = min(pva, cache, gather)
+        winner = {pva: "PVA", cache: "cacheline", gather: "gathering"}[best]
+        note = ""
+        if cols % params.num_banks == 0:
+            note = "  (width divisible by bank count: PVA's hardest case)"
+        print(
+            f"{cols:>12} {pva:>8} {cache:>10} {gather:>10}   "
+            f"{winner}{note}"
+        )
+    print(
+        "\nOdd/prime widths give the PVA full 16-bank parallelism; padding\n"
+        "a power-of-two-width matrix by one column is the classic fix, and\n"
+        "these numbers show exactly why."
+    )
+
+
+if __name__ == "__main__":
+    main()

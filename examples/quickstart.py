@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: run a strided kernel through the PVA unit and the paper's
+baseline memory systems.
+
+This is the five-minute tour: build the prototype configuration (16 banks
+of word-interleaved SDRAM behind a split-transaction vector bus), generate
+the command trace of a BLAS ``copy`` over strided vectors, and compare
+cycle counts across the four memory systems of the paper's evaluation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CacheLineSerialSDRAM,
+    GatheringSerialSDRAM,
+    PVAMemorySystem,
+    SystemParams,
+    build_trace,
+    kernel_by_name,
+    make_pva_sram,
+)
+
+
+def main() -> None:
+    params = SystemParams()  # the paper's prototype (section 5.1)
+    print("Prototype configuration:")
+    for key, value in params.describe().items():
+        print(f"  {key:>20} = {value}")
+    print()
+
+    kernel = kernel_by_name("copy")
+    header = (
+        f"{'stride':>6} {'PVA-SDRAM':>10} {'PVA-SRAM':>9} "
+        f"{'cacheline':>10} {'gathering':>10} {'PVA speedup':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for stride in (1, 2, 4, 8, 16, 19):
+        trace = build_trace(kernel, stride=stride, params=params)
+        pva = PVAMemorySystem(params).run(trace)
+        sram = make_pva_sram(params).run(trace)
+        cacheline = CacheLineSerialSDRAM(params).run(trace)
+        gathering = GatheringSerialSDRAM(params).run(trace)
+        print(
+            f"{stride:>6} {pva.cycles:>10} {sram.cycles:>9} "
+            f"{cacheline.cycles:>10} {gathering.cycles:>10} "
+            f"{cacheline.cycles / pva.cycles:>11.1f}x"
+        )
+    print()
+    print(
+        "Note the paper's story in the last column: parity at unit stride,\n"
+        "growing wins as the stride rises, and the largest win at the\n"
+        "prime stride 19, where the PVA drives all 16 banks in parallel\n"
+        "while the conventional system fetches a mostly-wasted cache line\n"
+        "per element group."
+    )
+
+
+if __name__ == "__main__":
+    main()

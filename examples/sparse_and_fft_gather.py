@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Chapter-7 extensions: vector-indirect gather (sparse matrix-vector
+style) and FFT bit-reversal reordering.
+
+Sparse codes access ``x[col[j]]`` — addresses known only at run time.  The
+paper's two-phase scheme loads the indirection vector with an ordinary
+unit-stride command, then broadcasts its contents so each bank controller
+bit-masks out its own elements.  FFT bit-reversal is the other famous
+cache-hostile pattern; the memory controller generates the reversed
+addresses itself.
+
+Run:  python examples/sparse_and_fft_gather.py
+"""
+
+import random
+
+from repro import PVAMemorySystem, SystemParams
+from repro.extensions import (
+    bit_reversal_gather,
+    bit_reverse,
+    indirect_gather,
+    load_indirection_vector,
+)
+
+LINE = 32
+
+
+def sparse_row_gather() -> None:
+    """Gather the nonzeros of one CSR row through the PVA unit."""
+    params = SystemParams()
+    system = PVAMemorySystem(params)
+    rng = random.Random(2000)
+
+    # A dense source vector x and one sparse row with 32 nonzeros.
+    x_base = 0
+    for i in range(1 << 14):
+        system.poke(x_base + i, 5 * i + 1)
+    col_indices = sorted(rng.sample(range(1 << 14), LINE))
+    col_base = 1 << 15
+    for slot, col in enumerate(col_indices):
+        system.poke(col_base + slot, x_base + col)
+
+    # Phase (i): load the indirection vector (unit-stride read).
+    phase1 = system.run(
+        [load_indirection_vector(col_base, LINE)], capture_data=True
+    )
+    addresses = phase1.read_lines[0]
+
+    # Phase (ii): broadcast it and gather the actual elements.
+    phase2 = system.run([indirect_gather(addresses)], capture_data=True)
+    gathered = phase2.read_lines[0]
+    assert gathered == tuple(5 * (a - x_base) + 1 for a in addresses)
+    print(
+        f"sparse gather: {LINE} random nonzeros in "
+        f"{phase1.cycles + phase2.cycles} cycles "
+        f"(load indices {phase1.cycles}, gather {phase2.cycles})"
+    )
+
+
+def fft_bit_reversal() -> None:
+    """Reorder a 1024-point dataset into bit-reversed order, one cache
+    line per command."""
+    params = SystemParams()
+    system = PVAMemorySystem(params)
+    bits = 10
+    points = 1 << bits
+    base = 0
+    for i in range(points):
+        system.poke(base + i, 9000 + i)
+
+    trace = [
+        bit_reversal_gather(base, bits, start=start, count=LINE)
+        for start in range(0, points, LINE)
+    ]
+    result = system.run(trace, capture_data=True)
+    reordered = [v for line in result.read_lines for v in line]
+    assert reordered == [9000 + bit_reverse(i, bits) for i in range(points)]
+    print(
+        f"bit-reversal:  {points}-point reorder in {result.cycles} cycles "
+        f"({result.cycles / points:.2f} cycles/element, "
+        f"{len(trace)} commands)"
+    )
+
+
+def main() -> None:
+    sparse_row_gather()
+    fft_bit_reversal()
+    print(
+        "\nBoth patterns ride the same staging/broadcast machinery as\n"
+        "base-stride vectors; only the per-bank element determination\n"
+        "changes (bit-mask snooping instead of the FirstHit closed form)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""SplitVector and super-pages (section 4.3.2).
+
+Parallel vector access needs physically contiguous vectors, so the memory
+controller splits each application vector at super-page boundaries using
+a fast lower-bound computation (invert-add-shift) instead of a division.
+
+This example maps a virtually contiguous array onto scattered physical
+frames, splits a long strided vector with both the fast and the exact
+algorithm, and runs the resulting physically-addressed commands through
+the PVA unit — verifying the gathered data survives the translation.
+
+Run:  python examples/superpage_splitting.py
+"""
+
+from repro import (
+    AccessType,
+    MMCTLB,
+    PageMapping,
+    PVAMemorySystem,
+    SystemParams,
+    Vector,
+    VectorCommand,
+)
+from repro.core.split import exact_split_vector, split_vector
+
+PAGE_WORDS = 1 << 12  # a 16 KB super-page of 4-byte words
+
+
+def build_scattered_tlb(virtual_pages: int) -> MMCTLB:
+    """Map virtual pages 0..n-1 onto shuffled physical frames."""
+    tlb = MMCTLB()
+    frame_order = list(reversed(range(virtual_pages)))  # deliberately odd
+    for vpage, pframe in enumerate(frame_order):
+        tlb.map(
+            PageMapping(
+                virtual_base=vpage * PAGE_WORDS,
+                physical_base=pframe * PAGE_WORDS,
+                page_words=PAGE_WORDS,
+            )
+        )
+    return tlb
+
+
+def main() -> None:
+    params = SystemParams()
+    tlb = build_scattered_tlb(virtual_pages=8)
+    vector = Vector(base=100, stride=19, length=1024)
+
+    fast = split_vector(vector, tlb)
+    exact = exact_split_vector(vector, tlb)
+    print(
+        f"application vector {vector} spans "
+        f"{vector.span_words} words over {PAGE_WORDS}-word super-pages"
+    )
+    print(
+        f"fast split:  {len(fast)} sub-vectors "
+        f"(lengths {[p.length for p in fast][:6]}...)"
+    )
+    print(
+        f"exact split: {len(exact)} sub-vectors "
+        f"(lengths {[p.length for p in exact][:6]}...)"
+    )
+    print(
+        f"TLB lookups made by the controller: {tlb.lookups} "
+        "(one per issued sub-vector)\n"
+    )
+
+    # Run the physically-addressed pieces through the PVA unit.  Values
+    # are stored at *physical* addresses via the same translation.
+    system = PVAMemorySystem(params)
+    for element, vaddr in enumerate(vector.addresses()):
+        paddr, _ = tlb.lookup(vaddr)
+        system.poke(paddr, 7_000_000 + element)
+
+    commands = []
+    for piece in fast:
+        for line_piece in piece.split(params.cache_line_words):
+            commands.append(
+                VectorCommand(vector=line_piece, access=AccessType.READ)
+            )
+    result = system.run(commands, capture_data=True)
+    gathered = [v for line in result.read_lines for v in line]
+    assert gathered == [7_000_000 + e for e in range(vector.length)], (
+        "translated gather returned wrong data"
+    )
+    print(
+        f"gathered all {vector.length} elements across page boundaries in "
+        f"{result.cycles} cycles ({len(commands)} bus commands)."
+    )
+    print(
+        "\nThe fast splitter issues a few more sub-vectors than the exact\n"
+        "divider, but never lets one cross a page — and it replaces the\n"
+        "stride division with a shift, which is what makes it viable in\n"
+        "controller hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so editable installs work on toolchains without the
+``wheel`` package (pyproject metadata remains the source of truth)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — a reproduction of *Design of a Parallel Vector Access Unit for
+SDRAM Memory Systems* (Mathew, McKee, Carter, Davis — HPCA 2000).
+
+The library provides:
+
+* the PVA mathematics (``repro.core``): closed-form FirstHit/NextHit for
+  word-interleaved memories, the general cache-line-interleave algorithm,
+  PLA implementation models and SplitVector;
+* a cycle-level simulator of the PVA memory controller (``repro.pva``)
+  over parametric SDRAM/SRAM device models;
+* the paper's comparison systems (``repro.baselines``), kernels and trace
+  generation (``repro.kernels``), and the experiment harness
+  (``repro.experiments``) regenerating every figure and table.
+
+Quick start::
+
+    from repro import (
+        PVAMemorySystem, SystemParams, kernel_by_name, build_trace,
+    )
+
+    params = SystemParams()                      # the paper's prototype
+    trace = build_trace(kernel_by_name("copy"), stride=4, params=params)
+    result = PVAMemorySystem(params).run(trace)
+    print(result.cycles, result.summary())
+"""
+
+from repro.baselines import (
+    CacheLineSerialSDRAM,
+    GatheringSerialSDRAM,
+    make_pva_sram,
+)
+from repro.core import (
+    NO_HIT,
+    bank_subvector,
+    first_hit,
+    hit_count,
+    next_hit,
+    split_vector,
+    subvectors_by_bank,
+)
+from repro.errors import ReproError
+from repro.kernels import ALIGNMENTS, KERNELS, build_trace, kernel_by_name
+from repro.params import SDRAMTiming, SRAMTiming, SystemParams
+from repro.pva import PVAMemorySystem
+from repro.sim import RunResult
+from repro.types import AccessType, Vector, VectorCommand
+from repro.vm import MMCTLB, PageMapping
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessType",
+    "Vector",
+    "VectorCommand",
+    "SystemParams",
+    "SDRAMTiming",
+    "SRAMTiming",
+    "PVAMemorySystem",
+    "CacheLineSerialSDRAM",
+    "GatheringSerialSDRAM",
+    "make_pva_sram",
+    "RunResult",
+    "first_hit",
+    "next_hit",
+    "hit_count",
+    "bank_subvector",
+    "subvectors_by_bank",
+    "split_vector",
+    "NO_HIT",
+    "KERNELS",
+    "ALIGNMENTS",
+    "kernel_by_name",
+    "build_trace",
+    "MMCTLB",
+    "PageMapping",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,128 @@
+"""Closed-form performance models.
+
+Section 6.3.1 explains the PVA's performance in terms of three effects:
+fewer SDRAM accesses, bank parallelism (``M / 2**s`` banks active for a
+stride ``sigma * 2**s``), and bus compaction.  This module captures that
+reasoning as explicit formulas:
+
+* exact cycle counts for the two serial baselines (their cost models are
+  analytic by construction — the test suite pins the simulators to these
+  formulas);
+* *lower bounds* for the PVA systems: the vector-bus occupancy bound and
+  the per-bank column-throughput bound.  The cycle-level simulator can
+  approach but never beat these, which makes them powerful invariants —
+  any "too fast" simulation result is a scheduling bug, not a win.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.decode import decompose_stride
+from repro.core.firsthit import hit_count
+from repro.params import SystemParams
+from repro.types import AccessType, ExplicitCommand, VectorCommand
+
+__all__ = [
+    "available_parallelism",
+    "bus_bound_cycles",
+    "per_bank_column_bound",
+    "pva_lower_bound",
+    "cacheline_serial_cycles",
+    "gathering_serial_cycles",
+]
+
+
+def available_parallelism(stride: int, num_banks: int) -> int:
+    """Banks a stride can keep busy: ``M / 2**s`` (section 6.3.1)."""
+    return decompose_stride(stride, num_banks).banks_hit
+
+
+def bus_bound_cycles(
+    commands: Sequence, params: SystemParams
+) -> int:
+    """Vector-bus occupancy lower bound.
+
+    Every read costs one request cycle plus a STAGE_READ command and the
+    line transfer; every write costs STAGE_WRITE, the transfer, and the
+    VEC_WRITE broadcast.  The bus serializes all of it.
+    """
+    total = 0
+    for command in commands:
+        if isinstance(command, ExplicitCommand):
+            request = command.broadcast_cycles
+        else:
+            request = 1
+        if command.access is AccessType.READ:
+            total += request + 1 + params.stage_cycles
+        else:
+            total += 1 + params.stage_cycles + request
+    return total
+
+
+def _bank_elements(command, params: SystemParams) -> Dict[int, int]:
+    if isinstance(command, ExplicitCommand):
+        counts: Dict[int, int] = {}
+        mask = params.num_banks - 1
+        for address in command.addresses:
+            counts[address & mask] = counts.get(address & mask, 0) + 1
+        return counts
+    return {
+        bank: hit_count(command.vector, bank, params.num_banks)
+        for bank in range(params.num_banks)
+    }
+
+
+def per_bank_column_bound(
+    commands: Sequence, params: SystemParams
+) -> int:
+    """Column-throughput lower bound: the busiest bank must issue one CAS
+    per element it owns, at most one per cycle."""
+    totals: Dict[int, int] = {}
+    for command in commands:
+        for bank, count in _bank_elements(command, params).items():
+            totals[bank] = totals.get(bank, 0) + count
+    return max(totals.values(), default=0)
+
+
+def pva_lower_bound(commands: Sequence, params: SystemParams) -> int:
+    """A PVA run can finish no sooner than the larger of the bus bound
+    and the busiest bank's column bound."""
+    return max(
+        bus_bound_cycles(commands, params),
+        per_bank_column_bound(commands, params),
+    )
+
+
+def cacheline_serial_cycles(
+    commands: Sequence[VectorCommand], params: SystemParams
+) -> int:
+    """Exact analytic cost of the cache-line serial baseline: 20 cycles
+    per distinct line per command, serially."""
+    shift = params.cache_line_words.bit_length() - 1
+    fill = params.sdram.t_rcd + params.sdram.cas_latency + (
+        params.line_bytes // 8
+    )
+    total = 0
+    for command in commands:
+        lines = {a >> shift for a in command.vector.addresses()}
+        total += len(lines) * fill
+    return total
+
+
+def gathering_serial_cycles(
+    commands: Sequence[VectorCommand], params: SystemParams
+) -> int:
+    """Exact analytic cost of the gathering serial baseline."""
+    timing = params.sdram
+    total = 0
+    for command in commands:
+        total += (
+            1
+            + timing.t_rp
+            + timing.t_rcd
+            + timing.cas_latency
+            + command.vector.length
+            + params.line_bytes // 8
+        )
+    return total

@@ -1,0 +1,11 @@
+"""The comparison memory systems of section 6.1."""
+
+from repro.baselines.cacheline_serial import CacheLineSerialSDRAM
+from repro.baselines.gathering_serial import GatheringSerialSDRAM
+from repro.baselines.pva_sram import make_pva_sram
+
+__all__ = [
+    "CacheLineSerialSDRAM",
+    "GatheringSerialSDRAM",
+    "make_pva_sram",
+]

@@ -1,0 +1,121 @@
+"""Baseline 2: the gathering pipelined serial SDRAM system (section 6.1).
+
+A 16-module, word-interleaved SDRAM system with a closed-page policy that
+gathers vector elements *individually* but issues the accesses serially —
+the paper's stand-in for a conventional pipelined vector unit:
+
+* precharge cost is incurred once at the beginning of each vector command;
+* the first element pays the full RAS + CAS latency; RAS latencies for
+  every later element overlap with activity on other banks (the paper's
+  optimistic assumption), so subsequent elements stream at one per cycle;
+* vector commands never cross DRAM pages (pages stay open within a
+  command);
+* the gathered line then crosses the 64-bit bus (16 data cycles), and —
+  having no split transactions — the next command starts only after that.
+
+The per-command cost is therefore independent of stride, which is exactly
+why this system beats the cache-line baseline at large strides but loses
+to the PVA's bank-parallel gathering by roughly a factor of three.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.params import SystemParams
+from repro.sdram.device import DeviceStats
+from repro.sim.stats import BusStats, RunResult
+from repro.types import AccessType, VectorCommand
+
+__all__ = ["GatheringSerialSDRAM"]
+
+
+class GatheringSerialSDRAM:
+    """Serial element-gathering memory system."""
+
+    def __init__(
+        self,
+        params: Optional[SystemParams] = None,
+        name: str = "gathering-serial",
+    ):
+        self.params = params or SystemParams()
+        self.name = name
+        #: 64-bit memory bus moves 8 bytes per cycle.
+        self.transfer_cycles = self.params.line_bytes // 8
+        #: Flat functional memory image (word address -> value).
+        self._storage = {}
+
+    def poke(self, address: int, value: int) -> None:
+        """Write one word directly into the functional memory image."""
+        self._storage[address] = value
+
+    def peek(self, address: int) -> int:
+        """Read one word from the functional memory image."""
+        return self._storage.get(address, 0)
+
+    def command_cycles(self, command: VectorCommand) -> int:
+        """Cycles one vector command occupies the system."""
+        timing = self.params.sdram
+        access_cycles = (
+            timing.t_rp  # closed-page precharge at command start
+            + timing.t_rcd  # first element's RAS
+            + timing.cas_latency  # first element's CAS
+            + command.vector.length  # one serial address issue per element
+        )
+        # One command cycle on the bus, then the data transfer (which the
+        # serial controller does not overlap with the next command).
+        return 1 + access_cycles + self.transfer_cycles
+
+    def run(
+        self,
+        commands: Sequence[VectorCommand],
+        capture_data: bool = False,
+    ) -> RunResult:
+        cycles = 0
+        reads = writes = 0
+        elements_read = elements_written = 0
+        activates = 0
+        columns = 0
+        bus = BusStats()
+        read_lines = [] if capture_data else None
+        for command in commands:
+            cycles += self.command_cycles(command)
+            activates += 1
+            columns += command.vector.length
+            bus.request_cycles += 1 + command.vector.length
+            bus.data_cycles += self.transfer_cycles
+            if command.access is AccessType.READ:
+                reads += 1
+                elements_read += command.vector.length
+                if read_lines is not None:
+                    read_lines.append(
+                        tuple(
+                            self._storage.get(a, 0)
+                            for a in command.vector.addresses()
+                        )
+                    )
+            else:
+                writes += 1
+                elements_written += command.vector.length
+                data = command.data or tuple(range(command.vector.length))
+                for address, value in zip(command.vector.addresses(), data):
+                    self._storage[address] = value
+        device = DeviceStats(
+            activates=activates,
+            precharges=activates,
+            reads=columns if reads else 0,
+            writes=0 if reads else columns,
+        )
+        result = RunResult(
+            system=self.name,
+            cycles=cycles,
+            commands=len(commands),
+            read_commands=reads,
+            write_commands=writes,
+            elements_read=elements_read,
+            elements_written=elements_written,
+            device=device,
+            bus=bus,
+        )
+        result.read_lines = read_lines
+        return result

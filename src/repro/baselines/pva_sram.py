@@ -1,0 +1,34 @@
+"""Baseline 3: the Parallel Vector Access SRAM system (section 6.1).
+
+The same PVA controller and bus protocol, but driving idealized
+uniform-access SRAM banks: no RAS, CAS or precharge latencies.  The paper
+uses the gap between PVA-SDRAM and PVA-SRAM (at most ~15 %) as the measure
+of how well the scheduling heuristics hide DRAM overheads; the experiment
+harness reports the min and max over relative alignments, matching the
+"min/max parallel vector access SRAM" bars.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.params import SRAMTiming, SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.sram.device import SRAMDevice
+
+__all__ = ["make_pva_sram"]
+
+
+def make_pva_sram(
+    params: Optional[SystemParams] = None,
+    sram_timing: Optional[SRAMTiming] = None,
+    name: str = "pva-sram",
+) -> PVAMemorySystem:
+    """Build a PVA memory system whose banks are idealized SRAM."""
+    params = params or SystemParams()
+    timing = sram_timing or SRAMTiming()
+
+    def factory(p: SystemParams) -> SRAMDevice:
+        return SRAMDevice(timing, bus_turnaround=p.bus_turnaround)
+
+    return PVAMemorySystem(params=params, device_factory=factory, name=name)

@@ -1,0 +1,5 @@
+"""The shared, split-transaction vector bus (section 5.2.1)."""
+
+from repro.bus.vector_bus import VectorBus
+
+__all__ = ["VectorBus"]

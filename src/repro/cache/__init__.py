@@ -1,0 +1,8 @@
+"""L2 cache substrate: the filter between the processor and the memory
+controller (chapter 1's motivation, and the paper's future-work
+full-program functional simulation)."""
+
+from repro.cache.l2 import CacheStats, L2Cache
+from repro.cache.frontend import CacheFrontEnd, ScalarAccess
+
+__all__ = ["L2Cache", "CacheStats", "CacheFrontEnd", "ScalarAccess"]

@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``info``
+    Print the prototype configuration.
+``run``
+    Run one kernel/stride/alignment point on one or more memory systems.
+``figure``
+    Regenerate one of the paper's figures (7, 8, 9, 10, 11).
+``ablation``
+    Run one of the ablation sweeps (row-policy, vector-contexts, bypass,
+    banks).
+``complexity``
+    Print the Table 1 complexity comparison.
+
+Examples::
+
+    python -m repro run --kernel copy --stride 19
+    python -m repro figure 9 --elements 256
+    python -m repro ablation row-policy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments.ablations import (
+    ablate_bank_scaling,
+    ablate_bypass_paths,
+    ablate_row_policy,
+    ablate_vector_contexts,
+)
+from repro.experiments.complexity import complexity_table
+from repro.experiments.figures import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+from repro.experiments.grid import (
+    EVAL_KERNELS,
+    FIGURE7_KERNELS,
+    FIGURE8_KERNELS,
+    SYSTEMS,
+    run_grid,
+    run_point,
+)
+from repro.experiments.report import format_table
+from repro.kernels import ALIGNMENTS
+from repro.params import SystemParams
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "7": (figure7, dict(kernels=FIGURE7_KERNELS)),
+    "8": (figure8, dict(kernels=FIGURE8_KERNELS)),
+    "9": (figure9, dict(strides=(1, 4))),
+    "10": (figure10, dict(strides=(8, 16, 19))),
+    "11": (figure11, dict(kernels=("vaxpy",), systems=("pva-sdram", "pva-sram"))),
+}
+
+_ABLATIONS = {
+    "row-policy": lambda: ablate_row_policy(),
+    "vector-contexts": lambda: ablate_vector_contexts(),
+    "bypass": lambda: ablate_bypass_paths(),
+    "banks": lambda: ablate_bank_scaling(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel Vector Access (PVA) reproduction — run the paper's "
+            "experiments from the command line."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the prototype configuration")
+
+    run_parser = sub.add_parser("run", help="run one experiment point")
+    run_parser.add_argument(
+        "--kernel", default="copy", choices=sorted(EVAL_KERNELS)
+    )
+    run_parser.add_argument("--stride", type=int, default=1)
+    run_parser.add_argument(
+        "--alignment",
+        default=ALIGNMENTS[0].name,
+        choices=[a.name for a in ALIGNMENTS],
+    )
+    run_parser.add_argument("--elements", type=int, default=1024)
+    run_parser.add_argument(
+        "--system",
+        action="append",
+        choices=sorted(SYSTEMS),
+        help="memory system(s) to run (default: all four)",
+    )
+
+    figure_parser = sub.add_parser(
+        "figure", help="regenerate one of the paper's figures"
+    )
+    figure_parser.add_argument("number", choices=sorted(_FIGURES))
+    figure_parser.add_argument("--elements", type=int, default=1024)
+
+    ablation_parser = sub.add_parser("ablation", help="run an ablation sweep")
+    ablation_parser.add_argument("name", choices=sorted(_ABLATIONS))
+
+    sub.add_parser(
+        "complexity", help="print the Table 1 complexity comparison"
+    )
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="dense stride sweep on one kernel"
+    )
+    sweep_parser.add_argument(
+        "--kernel", default="scale", choices=sorted(EVAL_KERNELS)
+    )
+    sweep_parser.add_argument("--max-stride", type=int, default=32)
+    sweep_parser.add_argument("--elements", type=int, default=512)
+
+    all_parser = sub.add_parser(
+        "all", help="regenerate every experiment artifact into a directory"
+    )
+    all_parser.add_argument("--out", default="results")
+    all_parser.add_argument("--elements", type=int, default=1024)
+    return parser
+
+
+def _cmd_info() -> int:
+    params = SystemParams()
+    rows = list(params.describe().items())
+    print(format_table(("parameter", "value"), rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    alignment = next(a for a in ALIGNMENTS if a.name == args.alignment)
+    systems = tuple(args.system) if args.system else tuple(SYSTEMS)
+    try:
+        cycles = run_point(
+            args.kernel,
+            stride=args.stride,
+            alignment=alignment,
+            elements=args.elements,
+            systems=systems,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    baseline = min(cycles.values())
+    rows = [
+        (name, count, f"{count / baseline:.2f}x")
+        for name, count in sorted(cycles.items(), key=lambda kv: kv[1])
+    ]
+    print(
+        f"{args.kernel} stride={args.stride} alignment={args.alignment} "
+        f"elements={args.elements}"
+    )
+    print(format_table(("system", "cycles", "vs best"), rows))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    generator, grid_kwargs = _FIGURES[args.number]
+    grid = run_grid(elements=args.elements, **grid_kwargs)
+    fig = generator(grid)
+    print(fig.text)
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    _, text = _ABLATIONS[args.name]()
+    print(text)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.baselines.cacheline_serial import CacheLineSerialSDRAM
+    from repro.core.decode import decompose_stride
+    from repro.kernels import build_trace, kernel_by_name
+    from repro.pva import PVAMemorySystem
+
+    params = SystemParams()
+    rows = []
+    try:
+        for stride in range(1, args.max_stride + 1):
+            trace = build_trace(
+                kernel_by_name(args.kernel),
+                stride=stride,
+                params=params,
+                elements=args.elements,
+            )
+            pva = PVAMemorySystem(params).run(trace).cycles
+            serial = CacheLineSerialSDRAM(params).run(trace).cycles
+            rows.append(
+                (
+                    stride,
+                    decompose_stride(stride, params.num_banks).banks_hit,
+                    pva,
+                    serial,
+                    f"{serial / pva:.1f}x",
+                )
+            )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        format_table(
+            ("stride", "banks hit", "pva", "cacheline-serial", "speedup"),
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "ablation":
+        return _cmd_ablation(args)
+    if args.command == "complexity":
+        print(complexity_table(SystemParams()))
+        return 0
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "all":
+        from repro.experiments.report_all import generate_all
+
+        written = generate_all(
+            out_dir=args.out, elements=args.elements, progress=print
+        )
+        print(f"{len(written)} artifacts in {args.out}/")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

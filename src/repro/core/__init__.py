@@ -1,0 +1,38 @@
+"""The paper's primary contribution: Parallel Vector Access algorithms.
+
+This package contains the mathematics of chapter 4 — closed-form
+``FirstHit``/``NextHit`` for word-interleaved memories (theorems 4.3/4.4),
+the general recursive algorithm for cache-line interleave (section 4.1.2),
+the PLA lookup-table implementation models (section 4.2), and the
+``SplitVector`` super-page splitting algorithm (section 4.3.2).
+"""
+
+from repro.core.decode import BankDecoder, StrideDecomposition, decompose_stride
+from repro.core.firsthit import (
+    NO_HIT,
+    first_hit,
+    next_hit,
+    hit_count,
+    bank_subvector,
+)
+from repro.core.subvector import SubVector, subvectors_by_bank
+from repro.core.pla import FullKiPLA, K1PLA, NextHitPLA, pla_product_terms
+from repro.core.split import split_vector
+
+__all__ = [
+    "BankDecoder",
+    "StrideDecomposition",
+    "decompose_stride",
+    "NO_HIT",
+    "first_hit",
+    "next_hit",
+    "hit_count",
+    "bank_subvector",
+    "SubVector",
+    "subvectors_by_bank",
+    "FullKiPLA",
+    "K1PLA",
+    "NextHitPLA",
+    "pla_product_terms",
+    "split_vector",
+]

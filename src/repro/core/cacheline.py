@@ -1,0 +1,208 @@
+"""The general cache-line-interleave algorithms of section 4.1.2.
+
+For a memory interleaved at ``N = 2**n`` words per bank block, the bank
+access pattern of a strided vector is governed by the inequality
+
+    0 <= theta + p1*S0 - p2*N*M - d*N < N        (paper eq. 1)
+
+whose smallest solution ``p1`` is the paper's ``FirstHit`` at bank distance
+``d`` (``theta`` is the base offset within a block, ``S0 = S mod N*M``).
+Section 4.1.2 derives a recursive Euclidean-style solver and concludes that
+its divisions and modulo operations by non-powers-of-two make it a poor fit
+for hardware — motivating the logical-bank transformation of section 4.1.3
+(implemented in :mod:`repro.interleave.logical`).
+
+This module provides:
+
+* :func:`classify_case` — the case analysis (case 0 / 1 / 2.1 / 2.2) with
+  the quantities ``delta_b``, ``delta_theta``, ``theta``;
+* :func:`next_hit_paper` — a faithful port of the paper's recursive C
+  implementation of ``NextHit(theta, stride, NM)``;
+* :func:`next_hit_exact` — the reference semantics (least ``p >= 1`` with
+  ``(theta + p*stride) mod NM < N``), against which the port is
+  property-tested;
+* :func:`first_hit_bruteforce` — sequential-expansion reference used to
+  validate every parallel algorithm in the library.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.decode import BankDecoder
+from repro.errors import ConfigurationError, VectorSpecError
+from repro.params import is_power_of_two
+from repro.types import Vector
+
+__all__ = [
+    "InterleaveCase",
+    "CaseAnalysis",
+    "classify_case",
+    "next_hit_exact",
+    "next_hit_paper",
+    "first_hit_bruteforce",
+    "bank_sequence",
+]
+
+
+class InterleaveCase(enum.Enum):
+    """The case taxonomy of section 4.1.2."""
+
+    CASE_0 = "case 0: base lands on the queried bank"
+    CASE_1 = "case 1: delta_theta == 0 (offset never drifts)"
+    CASE_2_1 = "case 2.1: offsets drift but never spill into the next block"
+    CASE_2_2 = "case 2.2: offset drift crosses block boundaries"
+
+
+@dataclass(frozen=True)
+class CaseAnalysis:
+    """The quantities the paper defines for the case analysis.
+
+    ``delta_b = (S mod NM) / N`` — banks skipped between consecutive
+    elements; ``delta_theta = (S mod NM) mod N`` — drift of the offset
+    within a block; ``theta = B mod N`` — offset of the first element.
+    """
+
+    case: InterleaveCase
+    theta: int
+    delta_theta: int
+    delta_b: int
+
+
+def _validate_geometry(num_banks: int, block_words: int) -> None:
+    if not is_power_of_two(num_banks):
+        raise ConfigurationError(
+            f"num_banks must be a power of two, got {num_banks}"
+        )
+    if not is_power_of_two(block_words):
+        raise ConfigurationError(
+            f"block_words must be a power of two, got {block_words}"
+        )
+
+
+def classify_case(
+    vector: Vector, bank: int, num_banks: int, block_words: int
+) -> CaseAnalysis:
+    """Classify ``(vector, bank)`` into the paper's case taxonomy."""
+    _validate_geometry(num_banks, block_words)
+    decoder = BankDecoder(num_banks=num_banks, block_words=block_words)
+    nm = num_banks * block_words
+    theta = vector.base % block_words
+    s0 = vector.stride % nm
+    delta_theta = s0 % block_words
+    delta_b = s0 // block_words
+
+    if decoder.bank_of(vector.base) == bank:
+        case = InterleaveCase.CASE_0
+    elif delta_theta == 0:
+        case = InterleaveCase.CASE_1
+    elif theta + (vector.length - 1) * delta_theta < block_words:
+        case = InterleaveCase.CASE_2_1
+    else:
+        case = InterleaveCase.CASE_2_2
+    return CaseAnalysis(
+        case=case, theta=theta, delta_theta=delta_theta, delta_b=delta_b
+    )
+
+
+def next_hit_exact(
+    theta: int, stride: int, num_banks: int, block_words: int
+) -> Optional[int]:
+    """Reference ``NextHit`` for cache-line interleave.
+
+    Returns the least ``p >= 1`` such that ``(theta + p*stride) mod NM`` is
+    less than ``N`` — i.e. the element ``p`` strides later falls back into
+    a block owned by the same bank — or ``None`` if no such ``p`` exists
+    within one full period ``NM / gcd(stride, NM)`` (in which case the bank
+    only ever holds one element per period).
+    """
+    _validate_geometry(num_banks, block_words)
+    if not 0 <= theta < block_words:
+        raise VectorSpecError(
+            f"theta must satisfy 0 <= theta < {block_words}, got {theta}"
+        )
+    if stride <= 0:
+        raise VectorSpecError(f"stride must be positive, got {stride}")
+    nm = num_banks * block_words
+    s0 = stride % nm
+    if s0 == 0:
+        return 1
+    # The residue sequence (theta + p*s0) mod NM is periodic with period
+    # NM / gcd(s0, NM); scanning one period is exact.
+    import math
+
+    period = nm // math.gcd(s0, nm)
+    residue = theta
+    for p in range(1, period + 1):
+        residue += s0
+        if residue >= nm:
+            residue -= nm
+        if residue < block_words:
+            return p
+    return None
+
+
+def next_hit_paper(
+    theta: int, stride: int, nm: int, block_words: int
+) -> int:
+    """Faithful port of the paper's recursive C ``NextHit`` (section 4.1.2).
+
+    The C source carries an implicit global ``N`` (the block size), passed
+    here as ``block_words``.  The routine assumes a hit at offset ``theta``
+    exists and that ``stride`` has been reduced modulo ``NM``; callers
+    wanting validated results should prefer :func:`next_hit_exact`.  The
+    test suite characterises exactly where the draft-paper code agrees with
+    the reference semantics.
+    """
+    n = block_words
+    if stride < n:
+        if theta + stride < n:
+            return 1
+        p3_plus_1 = (nm - theta) // stride
+        if p3_plus_1 and ((theta + p3_plus_1 * stride) % nm < n):
+            return p3_plus_1
+        return p3_plus_1 + 1
+    s1 = nm % stride
+    if s1 <= theta:
+        return nm // stride
+    if s1 < n:
+        p2 = (stride - n + theta) // s1 + 1
+    else:
+        s2 = stride % s1
+        p3_plus_1 = next_hit_paper(theta, s2, s1, n)
+        p2 = (p3_plus_1 * stride + theta) // s1
+    carry = 1
+    if (p2 * nm) % stride <= stride - n + theta:
+        carry = 0
+    p1_minus_1 = (p2 * nm) // stride
+    return p1_minus_1 + carry
+
+
+def first_hit_bruteforce(
+    vector: Vector, bank: int, num_banks: int, block_words: int = 1
+) -> Optional[int]:
+    """Sequential-expansion reference for ``FirstHit`` on any interleave.
+
+    O(L); exists purely to validate the O(1) parallel algorithms.
+    """
+    _validate_geometry(num_banks, block_words)
+    decoder = BankDecoder(num_banks=num_banks, block_words=block_words)
+    for index, address in enumerate(vector.addresses()):
+        if decoder.bank_of(address) == bank:
+            return index
+    return None
+
+
+def bank_sequence(
+    vector: Vector, num_banks: int, block_words: int = 1
+) -> List[int]:
+    """The sequence of banks hit by consecutive vector elements.
+
+    Reproduces the worked examples of section 4.1.2 (e.g. ``B=0, S=9,
+    L=10`` with ``M=8, N=4`` gives ``0,2,4,6,1,3,5,7,2,4``).
+    """
+    _validate_geometry(num_banks, block_words)
+    decoder = BankDecoder(num_banks=num_banks, block_words=block_words)
+    return [decoder.bank_of(address) for address in vector.addresses()]

@@ -1,0 +1,104 @@
+"""Word-interleave ``FirstHit`` / ``NextHit`` (theorems 4.3 and 4.4).
+
+These are the closed forms that make broadcast-based parallel vector access
+practical: given a vector ``V = <B, S, L>`` and a bank ``b``, each bank
+controller decides *independently, without expanding the vector* whether it
+holds any elements, and if so which ones:
+
+* ``NextHit(S) = delta = 2**(m-s)``   (theorem 4.4) — once a bank holds
+  ``V[k]`` it also holds ``V[k + delta]``.
+* ``FirstHit(V, b) = K_i = (K1 * i) mod 2**(m-s)`` where
+  ``d = (b - b0) mod M`` must be a multiple of ``2**s`` and ``i = d >> s``
+  (theorem 4.3), with ``K1 = sigma^{-1} mod 2**(m-s)``.
+
+The functions here are the *behavioural specification*; the PLA models in
+:mod:`repro.core.pla` show how the same values come out of lookup tables in
+hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.decode import BankDecoder, decompose_stride
+from repro.errors import ConfigurationError
+from repro.types import Vector
+
+__all__ = ["NO_HIT", "first_hit", "next_hit", "hit_count", "bank_subvector"]
+
+#: Sentinel returned by :func:`first_hit` when a bank holds no element of
+#: the vector.  ``None`` mirrors the hardware's dedicated "no hit" encoding.
+NO_HIT: Optional[int] = None
+
+
+def _check_bank(bank: int, num_banks: int) -> None:
+    if not 0 <= bank < num_banks:
+        raise ConfigurationError(
+            f"bank {bank} out of range for {num_banks} banks"
+        )
+
+
+def next_hit(stride: int, num_banks: int) -> int:
+    """Theorem 4.4: the index increment ``delta`` between consecutive
+    elements held by the same bank, ``2**(m-s)``."""
+    return decompose_stride(stride, num_banks).delta
+
+
+def first_hit(vector: Vector, bank: int, num_banks: int) -> Optional[int]:
+    """Theorem 4.3: index of the first element of ``vector`` stored in
+    ``bank`` of a word-interleaved memory, or :data:`NO_HIT`.
+
+    Runs in O(1): a stride decomposition, a modular subtraction, a small
+    multiply and a mask — exactly the operations the bank controller's
+    FirstHit Predict / Calculate units perform.
+    """
+    _check_bank(bank, num_banks)
+    decoder = BankDecoder(num_banks=num_banks, block_words=1)
+    b0 = decoder.bank_of(vector.base)
+    decomp = decompose_stride(vector.stride, num_banks)
+
+    if decomp.s == decomp.bank_bits:
+        # S mod M == 0: every element lands on the base bank.
+        return 0 if bank == b0 else NO_HIT
+
+    d = (bank - b0) % num_banks
+    if d & ((1 << decomp.s) - 1):
+        # Lemma 4.2: only banks at distances that are multiples of 2**s
+        # can hold elements.
+        return NO_HIT
+    i = d >> decomp.s
+    k_i = (decomp.k1 * i) % decomp.delta
+    if k_i >= vector.length:
+        return NO_HIT
+    return k_i
+
+
+def hit_count(vector: Vector, bank: int, num_banks: int) -> int:
+    """Number of elements of ``vector`` stored in ``bank``.
+
+    ``0`` when the bank has no hit; otherwise the arithmetic progression
+    ``K, K + delta, K + 2*delta, ...`` truncated at the vector length.
+    """
+    k = first_hit(vector, bank, num_banks)
+    if k is NO_HIT:
+        return 0
+    delta = next_hit(vector.stride, num_banks)
+    return (vector.length - 1 - k) // delta + 1
+
+
+def bank_subvector(vector: Vector, bank: int, num_banks: int) -> List[int]:
+    """Word addresses of every element of ``vector`` held by ``bank``, in
+    vector-index order.
+
+    This is what a vector context expands with its shift-and-add datapath:
+    starting from ``B + S * FirstHit`` and repeatedly adding
+    ``S << (m - s)`` (section 4.2, steps 6-7).
+    """
+    k = first_hit(vector, bank, num_banks)
+    if k is NO_HIT:
+        return []
+    delta = next_hit(vector.stride, num_banks)
+    step = vector.stride * delta
+    count = (vector.length - 1 - k) // delta + 1
+    start = vector.base + vector.stride * k
+    return [start + j * step for j in range(count)]

@@ -1,0 +1,89 @@
+"""``SplitVector``: breaking an application vector at super-page boundaries
+(section 4.3.2).
+
+Parallel fetching only works while the vector is physically contiguous, so
+the memory controller splits each vector operation into sub-vectors that
+each stay inside one super-page.  Computing the *exact* number of on-page
+elements needs a division by the stride; the paper instead computes a cheap
+*lower bound* with an invert-add-shift:
+
+    lower_bound = (page_size - terminate(phys_address)) >> shift_val
+
+where ``terminate`` keeps the low ``n`` bits of the physical address (page
+size ``2**n``) and ``shift_val`` is chosen so that ``2**shift_val`` is at
+least the stride — for the bound to actually be a lower bound,
+``shift_val = ceil(log2(S))``.  (The paper's prose says "index of most
+significant power of 2 in V.S"; for non-power-of-two strides only the
+rounded-*up* reading keeps every issued sub-vector on its page, which the
+test suite checks as an invariant.)
+
+The routine always makes progress: when the bound comes out zero but the
+current element does lie on the page, a single element is issued.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.types import Vector
+from repro.vm.tlb import MMCTLB
+
+__all__ = ["split_vector", "exact_split_vector"]
+
+
+def _ceil_log2(value: int) -> int:
+    """Smallest ``k`` with ``2**k >= value``."""
+    return (value - 1).bit_length()
+
+
+def split_vector(vector: Vector, tlb: MMCTLB) -> List[Vector]:
+    """Split ``vector`` (virtual addresses) into physically-addressed
+    sub-vectors, each contained in one super-page.
+
+    Follows the paper's fast lower-bound algorithm: one TLB lookup and one
+    shift per issued sub-vector, no division by the stride.  Returns the
+    sub-vectors in issue order; their lengths sum to ``vector.length``.
+    """
+    shift_val = _ceil_log2(vector.stride)
+    pieces: List[Vector] = []
+    base = vector.base
+    length = vector.length
+    while length > 0:
+        phys_address, page_words = tlb.lookup(base)
+        # terminate(phys_address): the least significant n bits.
+        offset_in_page = phys_address & (page_words - 1)
+        lower_bound = (page_words - offset_in_page) >> shift_val
+        # The bound can be zero near the end of a page even though the
+        # current element itself is resident; issue it alone.
+        lower_bound = max(1, min(lower_bound, length))
+        pieces.append(
+            Vector(base=phys_address, stride=vector.stride, length=lower_bound)
+        )
+        length -= lower_bound
+        base += vector.stride * lower_bound
+    return pieces
+
+
+def exact_split_vector(vector: Vector, tlb: MMCTLB) -> List[Vector]:
+    """The division-based exact splitter the paper deems too expensive for
+    hardware — used as the reference the fast version is tested against.
+
+    Produces the minimal number of sub-vectors; the fast version may
+    produce more (never fewer elements per page than legal).
+    """
+    pieces: List[Vector] = []
+    base = vector.base
+    length = vector.length
+    while length > 0:
+        phys_address, page_words = tlb.lookup(base)
+        offset_in_page = phys_address & (page_words - 1)
+        remaining_words = page_words - offset_in_page
+        # Elements whose first word lies on this page.
+        on_page = (remaining_words - 1) // vector.stride + 1
+        on_page = min(on_page, length)
+        pieces.append(
+            Vector(base=phys_address, stride=vector.stride, length=on_page)
+        )
+        length -= on_page
+        base += vector.stride * on_page
+    return pieces

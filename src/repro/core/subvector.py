@@ -1,0 +1,108 @@
+"""Per-bank subvector descriptors.
+
+A :class:`SubVector` is the compact result of the FirstHit/NextHit
+computation for one bank: first index, index increment, element count, and
+the arithmetic progression of word addresses.  The PVA bank controllers
+carry these around instead of expanded address lists, which is the whole
+point of the parallel scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.core.decode import decompose_stride
+from repro.core.firsthit import NO_HIT, first_hit, next_hit
+from repro.types import Vector
+
+__all__ = ["SubVector", "subvectors_by_bank"]
+
+
+@dataclass(frozen=True)
+class SubVector:
+    """The slice of a vector owned by one bank of a word-interleaved memory.
+
+    Attributes
+    ----------
+    bank:
+        The owning bank.
+    first_index:
+        ``FirstHit(V, bank)`` — index of the first element held here.
+    delta:
+        ``NextHit(S)`` — index distance between consecutive elements here.
+    count:
+        Number of elements held here.
+    first_address:
+        Word address of element ``first_index``.
+    address_step:
+        ``S * delta`` — word-address distance between consecutive elements
+        held here (always a multiple of the bank count).
+    """
+
+    bank: int
+    first_index: int
+    delta: int
+    count: int
+    first_address: int
+    address_step: int
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    @property
+    def last_index(self) -> int:
+        if self.is_empty:
+            raise ValueError("empty subvector has no last index")
+        return self.first_index + (self.count - 1) * self.delta
+
+    def indices(self) -> Iterator[int]:
+        """Vector indices of the elements held by this bank, ascending."""
+        for j in range(self.count):
+            yield self.first_index + j * self.delta
+
+    def addresses(self) -> Iterator[int]:
+        """Word addresses of the elements held by this bank, in index
+        order — the stream a vector context issues to its SDRAM."""
+        addr = self.first_address
+        for _ in range(self.count):
+            yield addr
+            addr += self.address_step
+
+
+def subvector_for_bank(vector: Vector, bank: int, num_banks: int) -> SubVector:
+    """Compute the :class:`SubVector` of ``vector`` owned by ``bank``."""
+    k = first_hit(vector, bank, num_banks)
+    delta = next_hit(vector.stride, num_banks)
+    if k is NO_HIT:
+        return SubVector(
+            bank=bank,
+            first_index=0,
+            delta=delta,
+            count=0,
+            first_address=vector.base,
+            address_step=vector.stride * delta,
+        )
+    count = (vector.length - 1 - k) // delta + 1
+    return SubVector(
+        bank=bank,
+        first_index=k,
+        delta=delta,
+        count=count,
+        first_address=vector.base + vector.stride * k,
+        address_step=vector.stride * delta,
+    )
+
+
+def subvectors_by_bank(vector: Vector, num_banks: int) -> Dict[int, SubVector]:
+    """Subvector of every bank, keyed by bank number.
+
+    Banks with no hit get an empty subvector, mirroring the broadcast: every
+    bank controller sees every command and produces an answer, possibly
+    "nothing for me".
+    """
+    return {
+        bank: subvector_for_bank(vector, bank, num_banks)
+        for bank in range(num_banks)
+    }

@@ -1,0 +1,227 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each ablation runs a focused sweep and returns ``(rows, text)`` so the
+benchmark harness can both check invariants and print the series:
+
+* row-management policy (paper / close / open / 21174-history),
+* number of vector contexts (depth of the reordering window),
+* bypass paths on/off (single-request latency, section 5.2.3),
+* bank scaling (performance and PLA cost versus M, section 4.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.pla import pla_product_terms
+from repro.experiments.report import format_table
+from repro.kernels import ALIGNMENTS, build_trace, kernel_by_name
+from repro.params import SystemParams
+from repro.pva import PVAMemorySystem
+from repro.types import AccessType, Vector, VectorCommand
+
+__all__ = [
+    "ablate_row_policy",
+    "ablate_vector_contexts",
+    "ablate_bypass_paths",
+    "ablate_bank_scaling",
+    "ablate_subcommand_latency",
+    "ablate_refresh",
+]
+
+
+def _run(params: SystemParams, kernel: str, stride: int, elements: int) -> int:
+    trace = build_trace(
+        kernel_by_name(kernel),
+        stride=stride,
+        params=params,
+        elements=elements,
+    )
+    return PVAMemorySystem(params).run(trace).cycles
+
+
+def ablate_row_policy(
+    kernels: Sequence[str] = ("copy", "scale", "vaxpy"),
+    strides: Sequence[int] = (1, 16, 19),
+    elements: int = 512,
+    params: Optional[SystemParams] = None,
+) -> Tuple[List[Tuple], str]:
+    """Compare the four row-management policies."""
+    base = params or SystemParams()
+    policies = ("paper", "close", "open", "history")
+    rows: List[Tuple] = []
+    for kernel in kernels:
+        for stride in strides:
+            cycles = {
+                policy: _run(
+                    replace(base, row_policy=policy), kernel, stride, elements
+                )
+                for policy in policies
+            }
+            rows.append((kernel, stride) + tuple(cycles[p] for p in policies))
+    headers = ("kernel", "stride") + policies
+    return rows, format_table(headers, rows)
+
+
+def ablate_vector_contexts(
+    kernel: str = "vaxpy",
+    strides: Sequence[int] = (1, 16, 19),
+    context_counts: Sequence[int] = (1, 2, 4, 8),
+    elements: int = 512,
+    params: Optional[SystemParams] = None,
+) -> Tuple[List[Tuple], str]:
+    """Sweep the vector-context window depth."""
+    base = params or SystemParams()
+    rows: List[Tuple] = []
+    for stride in strides:
+        cycles = {
+            n: _run(
+                replace(base, num_vector_contexts=n), kernel, stride, elements
+            )
+            for n in context_counts
+        }
+        rows.append((kernel, stride) + tuple(cycles[n] for n in context_counts))
+    headers = ("kernel", "stride") + tuple(
+        f"{n} VC" for n in context_counts
+    )
+    return rows, format_table(headers, rows)
+
+
+def ablate_bypass_paths(
+    strides: Sequence[int] = (1, 7, 19),
+    params: Optional[SystemParams] = None,
+) -> Tuple[List[Tuple], str]:
+    """Latency of a single vector read into an idle PVA unit, with and
+    without the section-5.2.3 bypass paths.
+
+    This is where the bypasses matter: with pipelined traffic their
+    latency is hidden, so the ablation uses one isolated command (power-
+    of-two and non-power-of-two strides exercise the FHP and FHC paths).
+    """
+    base = params or SystemParams()
+    rows: List[Tuple] = []
+    for stride in strides:
+        command = VectorCommand(
+            vector=Vector(base=3, stride=stride, length=base.cache_line_words),
+            access=AccessType.READ,
+        )
+        with_bypass = (
+            PVAMemorySystem(replace(base, bypass_paths=True))
+            .run([command])
+            .cycles
+        )
+        without = (
+            PVAMemorySystem(replace(base, bypass_paths=False))
+            .run([command])
+            .cycles
+        )
+        rows.append((stride, with_bypass, without, without - with_bypass))
+    headers = ("stride", "with bypass", "without bypass", "saved cycles")
+    return rows, format_table(headers, rows)
+
+
+def ablate_subcommand_latency(
+    kernel: str = "copy",
+    strides: Sequence[int] = (8, 19),
+    latencies: Sequence[int] = (2, 5, 13),
+    elements: int = 512,
+    params: Optional[SystemParams] = None,
+) -> Tuple[List[Tuple], str]:
+    """Subcommand-generation latency: PVA vs CVMS-class hardware.
+
+    Section 3.1: the Command Vector Memory System needs "15 memory cycles
+    to generate the subcommands" for non-power-of-two strides where the
+    PVA's multiply-add needs at most five (two for powers of two).  This
+    sweep varies the FirstHit-Calculate latency to show how much of that
+    advantage survives pipelining: with requests in flight the FHC hides
+    entirely; it is bare single-request latency that pays.
+    """
+    base = params or SystemParams()
+    rows: List[Tuple] = []
+    for stride in strides:
+        pipelined = {}
+        single = {}
+        for latency in latencies:
+            p = replace(base, fhc_latency=latency)
+            pipelined[latency] = _run(p, kernel, stride, elements)
+            command = VectorCommand(
+                vector=Vector(
+                    base=3, stride=stride, length=base.cache_line_words
+                ),
+                access=AccessType.READ,
+            )
+            single[latency] = PVAMemorySystem(p).run([command]).cycles
+        rows.append(
+            (stride, "pipelined")
+            + tuple(pipelined[latency] for latency in latencies)
+        )
+        rows.append(
+            (stride, "single request")
+            + tuple(single[latency] for latency in latencies)
+        )
+    headers = ("stride", "load") + tuple(
+        f"fhc={latency}" for latency in latencies
+    )
+    return rows, format_table(headers, rows)
+
+
+def ablate_refresh(
+    kernel: str = "copy",
+    stride: int = 1,
+    intervals: Sequence[int] = (0, 780, 200, 100),
+    elements: int = 1024,
+    params: Optional[SystemParams] = None,
+) -> Tuple[List[Tuple], str]:
+    """Auto-refresh tax versus refresh period (0 = disabled, the paper's
+    implicit assumption; ~780 cycles is realistic for a 100 MHz part)."""
+    base = params or SystemParams()
+    rows: List[Tuple] = []
+    baseline = None
+    for interval in intervals:
+        sdram = replace(base.sdram, refresh_interval=interval)
+        p = replace(base, sdram=sdram)
+        cycles = _run(p, kernel, stride, elements)
+        if baseline is None:
+            baseline = cycles
+        rows.append(
+            (
+                interval if interval else "off",
+                cycles,
+                f"{(cycles / baseline - 1) * 100:+.1f}%",
+            )
+        )
+    headers = ("refresh interval", "cycles", "overhead")
+    return rows, format_table(headers, rows)
+
+
+def ablate_bank_scaling(
+    kernel: str = "scale",
+    stride: int = 8,
+    banks: Sequence[int] = (4, 8, 16, 32),
+    elements: int = 512,
+    params: Optional[SystemParams] = None,
+) -> Tuple[List[Tuple], str]:
+    """Performance and PLA cost versus the number of banks.
+
+    The default point (stride 8) is chosen to expose the parallelism
+    cliff: with 4 or 8 banks a stride-8 vector lands entirely in one bank
+    (``stride mod M == 0`` or ``s == m``), with 16 banks two banks share
+    the work, with 32 banks four do.  Strides with full parallelism are
+    bus-bound at every M and would show a flat line.
+    """
+    base = params or SystemParams()
+    rows: List[Tuple] = []
+    for m in banks:
+        p = replace(base, num_banks=m)
+        cycles = _run(p, kernel, stride, elements)
+        rows.append(
+            (
+                m,
+                cycles,
+                pla_product_terms(m, "k1"),
+                pla_product_terms(m, "full_ki"),
+            )
+        )
+    headers = ("banks", "cycles", "K1 PLA terms", "full-Ki PLA terms")
+    return rows, format_table(headers, rows)

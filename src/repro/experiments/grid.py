@@ -1,0 +1,205 @@
+"""The evaluation grid of section 6.2.
+
+240 data points per memory system: eight access patterns (six kernels plus
+the unrolled copy2/scale2), six strides {1, 2, 4, 8, 16, 19}, and five
+relative vector alignments.  ``run_grid`` executes any sub-grid and returns
+a :class:`GridResults` that the figure generators slice.
+
+The serial baselines are alignment-independent (their cost model sees only
+addresses-per-command), so they are evaluated once per (kernel, stride)
+and reused across alignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines import (
+    CacheLineSerialSDRAM,
+    GatheringSerialSDRAM,
+    make_pva_sram,
+)
+from repro.errors import ConfigurationError
+from repro.kernels import ALIGNMENTS, Alignment, build_trace, kernel_by_name
+from repro.params import SystemParams
+from repro.pva import PVAMemorySystem
+
+__all__ = [
+    "EVAL_STRIDES",
+    "EVAL_KERNELS",
+    "FIGURE7_KERNELS",
+    "FIGURE8_KERNELS",
+    "SYSTEMS",
+    "GridResults",
+    "run_point",
+    "run_grid",
+]
+
+#: The six strides of the evaluation.
+EVAL_STRIDES: Tuple[int, ...] = (1, 2, 4, 8, 16, 19)
+
+#: The eight access patterns.
+EVAL_KERNELS: Tuple[str, ...] = (
+    "copy",
+    "copy2",
+    "saxpy",
+    "scale",
+    "scale2",
+    "swap",
+    "tridiag",
+    "vaxpy",
+)
+
+#: Figure 7 covers the first four patterns, figure 8 the rest.
+FIGURE7_KERNELS: Tuple[str, ...] = ("copy", "copy2", "saxpy", "scale")
+FIGURE8_KERNELS: Tuple[str, ...] = ("scale2", "swap", "tridiag", "vaxpy")
+
+#: Memory-system factories, keyed by the names used throughout results.
+SYSTEMS: Dict[str, Callable[[SystemParams], object]] = {
+    "pva-sdram": lambda p: PVAMemorySystem(p),
+    "pva-sram": lambda p: make_pva_sram(p),
+    "cacheline-serial": lambda p: CacheLineSerialSDRAM(p),
+    "gathering-serial": lambda p: GatheringSerialSDRAM(p),
+}
+
+#: Systems whose cycle counts do not depend on relative alignment.
+_ALIGNMENT_FREE = frozenset({"cacheline-serial", "gathering-serial"})
+
+
+@dataclass
+class GridResults:
+    """Cycle counts for every executed (kernel, stride, alignment, system).
+
+    ``cycles[(kernel, stride, alignment_name)][system] = cycles``.
+    """
+
+    params: SystemParams
+    elements: int
+    kernels: Tuple[str, ...]
+    strides: Tuple[int, ...]
+    alignments: Tuple[str, ...]
+    systems: Tuple[str, ...]
+    cycles: Dict[Tuple[str, int, str], Dict[str, int]] = field(
+        default_factory=dict
+    )
+
+    def point(self, kernel: str, stride: int, alignment: str) -> Dict[str, int]:
+        return self.cycles[(kernel, stride, alignment)]
+
+    def over_alignments(
+        self, kernel: str, stride: int, system: str
+    ) -> List[int]:
+        """Cycle counts of one system across all alignments, in the
+        alignment order of the grid."""
+        return [
+            self.cycles[(kernel, stride, name)][system]
+            for name in self.alignments
+        ]
+
+    def min_cycles(self, kernel: str, stride: int, system: str) -> int:
+        return min(self.over_alignments(kernel, stride, system))
+
+    def max_cycles(self, kernel: str, stride: int, system: str) -> int:
+        return max(self.over_alignments(kernel, stride, system))
+
+    def normalized(
+        self, kernel: str, stride: int, system: str, statistic: str = "min"
+    ) -> float:
+        """Execution time normalized to the minimum PVA-SDRAM time for the
+        same access pattern — the paper's bar annotations (1.0 = 100%)."""
+        base = self.min_cycles(kernel, stride, "pva-sdram")
+        value = (
+            self.min_cycles(kernel, stride, system)
+            if statistic == "min"
+            else self.max_cycles(kernel, stride, system)
+        )
+        return value / base
+
+
+def _alignment_by_name(name: str) -> Alignment:
+    for alignment in ALIGNMENTS:
+        if alignment.name == name:
+            return alignment
+    raise ConfigurationError(
+        f"unknown alignment {name!r}; available: "
+        f"{[a.name for a in ALIGNMENTS]}"
+    )
+
+
+def run_point(
+    kernel: str,
+    stride: int,
+    alignment: Alignment,
+    params: Optional[SystemParams] = None,
+    elements: int = 1024,
+    systems: Optional[Sequence[str]] = None,
+) -> Dict[str, int]:
+    """Execute one grid point on the requested systems; return cycles."""
+    params = params or SystemParams()
+    systems = tuple(systems or SYSTEMS)
+    trace = build_trace(
+        kernel_by_name(kernel),
+        stride=stride,
+        params=params,
+        elements=elements,
+        alignment=alignment,
+    )
+    out: Dict[str, int] = {}
+    for name in systems:
+        system = SYSTEMS[name](params)
+        out[name] = system.run(trace).cycles
+    return out
+
+
+def run_grid(
+    kernels: Iterable[str] = EVAL_KERNELS,
+    strides: Iterable[int] = EVAL_STRIDES,
+    alignments: Optional[Iterable[Alignment]] = None,
+    params: Optional[SystemParams] = None,
+    elements: int = 1024,
+    systems: Optional[Sequence[str]] = None,
+) -> GridResults:
+    """Execute a (sub-)grid of the evaluation.
+
+    Fresh memory-system instances are built per point, so points are
+    independent; the alignment-free serial baselines are computed once per
+    (kernel, stride).
+    """
+    params = params or SystemParams()
+    kernels = tuple(kernels)
+    strides = tuple(strides)
+    alignment_objs = tuple(alignments if alignments is not None else ALIGNMENTS)
+    system_names = tuple(systems or SYSTEMS)
+    results = GridResults(
+        params=params,
+        elements=elements,
+        kernels=kernels,
+        strides=strides,
+        alignments=tuple(a.name for a in alignment_objs),
+        systems=system_names,
+    )
+    for kernel in kernels:
+        for stride in strides:
+            serial_cache: Dict[str, int] = {}
+            for alignment in alignment_objs:
+                point: Dict[str, int] = {}
+                trace = None
+                for name in system_names:
+                    if name in _ALIGNMENT_FREE and name in serial_cache:
+                        point[name] = serial_cache[name]
+                        continue
+                    if trace is None:
+                        trace = build_trace(
+                            kernel_by_name(kernel),
+                            stride=stride,
+                            params=params,
+                            elements=elements,
+                            alignment=alignment,
+                        )
+                    cycles = SYSTEMS[name](params).run(trace).cycles
+                    point[name] = cycles
+                    if name in _ALIGNMENT_FREE:
+                        serial_cache[name] = cycles
+                results.cycles[(kernel, stride, alignment.name)] = point
+    return results

@@ -1,0 +1,38 @@
+"""Plain-text table formatting for experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_percent"]
+
+
+def format_percent(ratio: float) -> str:
+    """Render a normalized execution time the way the paper annotates
+    bars: ``1.0 -> \"100%\"``."""
+    return f"{ratio * 100:.0f}%"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width table with a header rule; all values str()-ed."""
+    materialized: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        materialized.append([str(cell) for cell in row])
+    widths = [
+        max(len(line[col]) for line in materialized)
+        for col in range(len(headers))
+    ]
+    lines = []
+    for i, line in enumerate(materialized):
+        lines.append(
+            "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(line))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""One-shot regeneration of every experiment artifact.
+
+``generate_all`` runs the full evaluation — figures 7-11, tables 1-2,
+the headline ratios, every ablation, and the extension experiments — and
+writes each series to ``<out_dir>/<name>.txt``.  This is the library-level
+equivalent of ``pytest benchmarks/ --benchmark-only`` without the
+benchmarking harness, exposed on the CLI as ``python -m repro all``.
+
+``elements`` scales the vector length (1024 = the paper's full size;
+smaller values give quick sanity passes).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple, Union
+
+from repro.experiments.ablations import (
+    ablate_bank_scaling,
+    ablate_bypass_paths,
+    ablate_refresh,
+    ablate_row_policy,
+    ablate_subcommand_latency,
+    ablate_vector_contexts,
+)
+from repro.experiments.alignment import alignment_study
+from repro.experiments.complexity import complexity_table
+from repro.experiments.figures import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+from repro.experiments.grid import (
+    FIGURE7_KERNELS,
+    FIGURE8_KERNELS,
+    run_grid,
+)
+from repro.experiments.headline import headline_ratios
+from repro.experiments.report import format_table
+from repro.params import SystemParams
+
+__all__ = ["generate_all"]
+
+
+def _headline_text(elements: int) -> str:
+    grid = run_grid(kernels=("copy", "scale", "swap"), elements=elements)
+    summary = headline_ratios(grid).summary()
+    rows = [(key, value) for key, value in summary.items()]
+    return format_table(("quantity", "measured"), rows)
+
+
+def generate_all(
+    out_dir: Union[str, Path] = "results",
+    elements: int = 1024,
+    progress: Callable[[str], None] = lambda message: None,
+) -> Dict[str, Path]:
+    """Regenerate every artifact; return ``{name: path}``.
+
+    ``progress`` receives a line per artifact (the CLI prints them).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    def emit(name: str, text: str) -> None:
+        path = out / f"{name}.txt"
+        path.write_text(text + "\n")
+        written[name] = path
+        progress(f"wrote {path}")
+
+    grid7 = run_grid(kernels=FIGURE7_KERNELS, elements=elements)
+    emit("figure7", figure7(grid7).text)
+    grid8 = run_grid(kernels=FIGURE8_KERNELS, elements=elements)
+    emit("figure8", figure8(grid8).text)
+    grid_fixed_low = run_grid(strides=(1, 4), elements=elements)
+    emit("figure9", figure9(grid_fixed_low).text)
+    grid_fixed_high = run_grid(strides=(8, 16, 19), elements=elements)
+    emit("figure10", figure10(grid_fixed_high).text)
+    grid_vaxpy = run_grid(
+        kernels=("vaxpy",),
+        systems=("pva-sdram", "pva-sram"),
+        elements=elements,
+    )
+    emit("figure11", figure11(grid_vaxpy, kernel="vaxpy").text)
+
+    emit("table1", complexity_table(SystemParams()))
+    emit("headline", _headline_text(elements))
+
+    ablations: List[Tuple[str, Callable[[], Tuple[list, str]]]] = [
+        ("ablation_row_policy", lambda: ablate_row_policy(elements=min(elements, 512))),
+        ("ablation_vector_contexts", lambda: ablate_vector_contexts(elements=min(elements, 512))),
+        ("ablation_bypass", ablate_bypass_paths),
+        ("ablation_bank_scaling", lambda: ablate_bank_scaling(elements=min(elements, 512))),
+        ("ablation_subcommand_latency", lambda: ablate_subcommand_latency(elements=min(elements, 512))),
+        ("ablation_refresh", lambda: ablate_refresh(elements=elements)),
+    ]
+    for name, runner in ablations:
+        _, text = runner()
+        emit(name, text)
+
+    _, alignment_text = alignment_study(elements=min(elements, 512))
+    emit("alignment_study", alignment_text)
+    return written

@@ -1,0 +1,25 @@
+"""Future-work extensions the paper sketches in chapter 7: vector-indirect
+scatter/gather and bit-reversed application vectors."""
+
+from repro.extensions.indirect import (
+    indirect_gather,
+    indirect_scatter,
+    load_indirection_vector,
+)
+from repro.extensions.bitreversal import (
+    bit_reverse,
+    bit_reversal_addresses,
+    bit_reversal_gather,
+)
+from repro.extensions.shadow import ShadowRegion, ShadowSpace
+
+__all__ = [
+    "ShadowRegion",
+    "ShadowSpace",
+    "indirect_gather",
+    "indirect_scatter",
+    "load_indirection_vector",
+    "bit_reverse",
+    "bit_reversal_addresses",
+    "bit_reversal_gather",
+]

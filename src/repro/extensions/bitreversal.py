@@ -1,0 +1,81 @@
+"""Bit-reversed application vectors (chapter 7).
+
+FFT bit-reversal reorders element ``i`` to position ``reverse(i)`` over
+some number of low-order address bits — a pattern with "extremely bad
+cache locality for large data sets" that a vector-aware memory controller
+can gather/scatter directly: "reversing some number of low order bits of
+the address and using the new address to access memory, incrementing the
+original address and repeating the address reversal till a cache line
+worth of data is fetched".
+
+The paper notes the operation "is inherently sequential for word-
+interleaved memory systems": the addresses must be expanded one (or two)
+per cycle before the banks can work, so the command's request-phase cost
+scales with the line length — the same cost model as the indirection
+broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import VectorSpecError
+from repro.types import AccessType, ExplicitCommand
+
+__all__ = ["bit_reverse", "bit_reversal_addresses", "bit_reversal_gather"]
+
+#: Addresses expanded per bus cycle (matches the indirection snoop rate).
+_ADDRESSES_PER_CYCLE = 2
+
+
+def bit_reverse(value: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``value`` (upper bits must be 0)."""
+    if bits < 0:
+        raise VectorSpecError(f"bits must be >= 0, got {bits}")
+    if value >> bits:
+        raise VectorSpecError(
+            f"value {value} does not fit in {bits} bits"
+        )
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def bit_reversal_addresses(
+    base: int, bits: int, start: int = 0, count: Optional[int] = None
+) -> List[int]:
+    """Word addresses of a bit-reversed gather.
+
+    Element ``i`` (``start <= i < start + count``) is read from
+    ``base + bit_reverse(i, bits)`` — the address stream a memory
+    controller generates by incrementing ``i`` and reversing.
+    """
+    size = 1 << bits
+    if count is None:
+        count = size - start
+    if not 0 <= start <= start + count <= size:
+        raise VectorSpecError(
+            f"range [{start}, {start + count}) outside the {size}-element "
+            "bit-reversal domain"
+        )
+    return [base + bit_reverse(i, bits) for i in range(start, start + count)]
+
+
+def bit_reversal_gather(
+    base: int,
+    bits: int,
+    start: int = 0,
+    count: Optional[int] = None,
+    tag: Optional[str] = None,
+) -> ExplicitCommand:
+    """One cache-line-sized chunk of an FFT bit-reversal gather."""
+    addresses = bit_reversal_addresses(base, bits, start, count)
+    return ExplicitCommand(
+        addresses=tuple(addresses),
+        access=AccessType.READ,
+        broadcast_cycles=1
+        + (len(addresses) + _ADDRESSES_PER_CYCLE - 1) // _ADDRESSES_PER_CYCLE,
+        tag=tag or f"bitrev-gather[{start}:{start + len(addresses)}]",
+    )

@@ -1,0 +1,83 @@
+"""Vector-indirect scatter/gather (chapter 7).
+
+The paper's two-phase scheme: "(i) loading the indirection vector into the
+appropriate bank controllers and then (ii) loading the appropriate vector
+elements.  Loading the indirection vector is simply a unit-stride vector
+load operation.  After the indirection vector is loaded, its contents can
+be broadcast across the vector bus.  Each bank controller can easily
+determine which elements of the vector reside in its SDRAM by snooping
+this broadcast and performing a simple bit-mask operation on each address
+broadcast (two per cycle)."
+
+These helpers build the corresponding commands:
+
+* :func:`load_indirection_vector` — phase (i), an ordinary unit-stride
+  :class:`~repro.types.VectorCommand`;
+* :func:`indirect_gather` / :func:`indirect_scatter` — phase (ii), an
+  :class:`~repro.types.ExplicitCommand` whose request-phase bus cost
+  reflects the two-addresses-per-cycle broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import VectorSpecError
+from repro.types import AccessType, ExplicitCommand, Vector, VectorCommand
+
+__all__ = [
+    "load_indirection_vector",
+    "indirect_gather",
+    "indirect_scatter",
+]
+
+#: Addresses snooped per bus cycle during the indirection broadcast.
+_ADDRESSES_PER_CYCLE = 2
+
+
+def load_indirection_vector(base: int, length: int) -> VectorCommand:
+    """Phase (i): the unit-stride load that brings the indirection vector
+    into the PVA unit."""
+    return VectorCommand(
+        vector=Vector(base=base, stride=1, length=length),
+        access=AccessType.READ,
+        tag="indirection-load",
+    )
+
+
+def _broadcast_cost(length: int) -> int:
+    """One command cycle plus the snooped address stream."""
+    return 1 + (length + _ADDRESSES_PER_CYCLE - 1) // _ADDRESSES_PER_CYCLE
+
+
+def indirect_gather(
+    addresses: Sequence[int], tag: Optional[str] = None
+) -> ExplicitCommand:
+    """Phase (ii) for a read: gather the words at ``addresses`` (the
+    indirection vector's contents) into a dense line."""
+    if not addresses:
+        raise VectorSpecError("indirect gather needs at least one address")
+    return ExplicitCommand(
+        addresses=tuple(addresses),
+        access=AccessType.READ,
+        broadcast_cycles=_broadcast_cost(len(addresses)),
+        tag=tag or "indirect-gather",
+    )
+
+
+def indirect_scatter(
+    addresses: Sequence[int],
+    data: Optional[Sequence[int]] = None,
+    tag: Optional[str] = None,
+) -> ExplicitCommand:
+    """Phase (ii) for a write: scatter a dense line's words to
+    ``addresses``."""
+    if not addresses:
+        raise VectorSpecError("indirect scatter needs at least one address")
+    return ExplicitCommand(
+        addresses=tuple(addresses),
+        access=AccessType.WRITE,
+        broadcast_cycles=_broadcast_cost(len(addresses)),
+        tag=tag or "indirect-scatter",
+        data=tuple(data) if data is not None else None,
+    )

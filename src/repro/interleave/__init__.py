@@ -1,0 +1,7 @@
+"""Memory interleaving schemes and the logical-bank transformation that
+reduces cache-line interleave to word interleave (section 4.1.3)."""
+
+from repro.interleave.schemes import InterleaveScheme
+from repro.interleave.logical import LogicalBankView
+
+__all__ = ["InterleaveScheme", "LogicalBankView"]

@@ -1,0 +1,91 @@
+"""The logical-bank transformation (section 4.1.3).
+
+Cache-line interleave makes ``FirstHit`` hard (section 4.1.2's recursive
+solver full of non-power-of-two divisions).  The paper's fix: view a
+``W x N x M`` memory as ``W*N*M`` *logical* banks, each one word wide and
+word-interleaved.  With ``N = 1`` every vector access falls into the easy
+"case 1", so the fast theorems of section 4.1.4 apply — at the price of
+``W*N`` copies of the FirstHit logic per physical bank controller.
+
+:class:`LogicalBankView` packages that construction: it answers FirstHit /
+hit-count / subvector queries for a *physical* bank by consulting the
+word-interleave closed forms on each of the physical bank's logical banks
+and merging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.firsthit import NO_HIT, first_hit, next_hit
+from repro.errors import ConfigurationError
+from repro.interleave.schemes import InterleaveScheme
+from repro.types import Vector
+
+__all__ = ["LogicalBankView"]
+
+
+@dataclass(frozen=True)
+class LogicalBankView:
+    """FirstHit machinery for an arbitrary ``W x N x M`` interleave, built
+    from ``W*N`` copies of the word-interleave logic per physical bank."""
+
+    scheme: InterleaveScheme
+
+    def _logical_banks_of(self, physical_bank: int) -> range:
+        if not 0 <= physical_bank < self.scheme.num_banks:
+            raise ConfigurationError(
+                f"bank {physical_bank} out of range for "
+                f"{self.scheme.num_banks} banks"
+            )
+        start = physical_bank * self.scheme.chunk_words
+        return range(start, start + self.scheme.chunk_words)
+
+    def first_hit(self, vector: Vector, physical_bank: int) -> Optional[int]:
+        """Index of the first element of ``vector`` held by
+        ``physical_bank``, or ``None``.
+
+        In hardware all ``W*N`` FirstHit units evaluate concurrently and a
+        comparator tree takes the minimum; here that is a ``min`` over the
+        logical-bank results.
+        """
+        best: Optional[int] = None
+        m_logical = self.scheme.logical_banks
+        for logical in self._logical_banks_of(physical_bank):
+            k = first_hit(vector, logical, m_logical)
+            if k is not NO_HIT and (best is None or k < best):
+                best = k
+        return best
+
+    def hit_indices(self, vector: Vector, physical_bank: int) -> List[int]:
+        """All vector indices held by ``physical_bank``, ascending.
+
+        Merges the arithmetic progressions of the constituent logical
+        banks; each progression has common difference
+        ``NextHit = 2**(m'-s)`` in the ``W*N*M``-bank logical space.
+        """
+        m_logical = self.scheme.logical_banks
+        delta = next_hit(vector.stride, m_logical)
+        indices: List[int] = []
+        for logical in self._logical_banks_of(physical_bank):
+            k = first_hit(vector, logical, m_logical)
+            if k is NO_HIT:
+                continue
+            indices.extend(range(k, vector.length, delta))
+        indices.sort()
+        return indices
+
+    def subvector(
+        self, vector: Vector, physical_bank: int
+    ) -> List[Tuple[int, int]]:
+        """``(index, word_address)`` pairs for every element of ``vector``
+        held by ``physical_bank``, in index order."""
+        return [
+            (index, vector.base + index * vector.stride)
+            for index in self.hit_indices(vector, physical_bank)
+        ]
+
+    def hit_count(self, vector: Vector, physical_bank: int) -> int:
+        """Number of elements of ``vector`` held by ``physical_bank``."""
+        return len(self.hit_indices(vector, physical_bank))

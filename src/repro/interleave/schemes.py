@@ -1,0 +1,112 @@
+"""Physical interleaving schemes.
+
+The paper generalises memory geometry to ``W x N x M``: ``M`` banks, each
+``W`` machine words wide, interleaved at ``N`` memory-words per block
+(figure 4).  A *memory word* is ``W`` machine words, so each bank owns
+contiguous runs of ``W * N`` machine words.
+
+* word interleave: ``W = N = 1``
+* cache-line interleave: ``N = line size in memory words``
+* block interleave: ``N`` = some larger block factor
+
+The scheme object answers, for any machine-word address: which bank owns
+it, and where inside that bank it lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, VectorSpecError
+from repro.params import is_power_of_two, log2_exact
+
+__all__ = ["InterleaveScheme"]
+
+
+@dataclass(frozen=True)
+class InterleaveScheme:
+    """A ``W x N x M`` interleaved memory geometry.
+
+    Attributes
+    ----------
+    num_banks:
+        ``M``, number of banks (power of two).
+    block_words:
+        ``N``, memory-words per interleave block (power of two).
+    bank_width_words:
+        ``W``, machine words per memory word (power of two).
+    """
+
+    num_banks: int
+    block_words: int = 1
+    bank_width_words: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("num_banks", "block_words", "bank_width_words"):
+            if not is_power_of_two(getattr(self, name)):
+                raise ConfigurationError(
+                    f"{name} must be a power of two, got {getattr(self, name)}"
+                )
+
+    @classmethod
+    def word(cls, num_banks: int) -> "InterleaveScheme":
+        """Word interleave — consecutive machine words rotate banks."""
+        return cls(num_banks=num_banks, block_words=1, bank_width_words=1)
+
+    @classmethod
+    def cache_line(
+        cls, num_banks: int, line_words: int
+    ) -> "InterleaveScheme":
+        """Cache-line interleave — consecutive lines rotate banks."""
+        return cls(
+            num_banks=num_banks, block_words=line_words, bank_width_words=1
+        )
+
+    @property
+    def chunk_words(self) -> int:
+        """Contiguous machine words per bank per rotation (``W * N``)."""
+        return self.block_words * self.bank_width_words
+
+    @property
+    def chunk_bits(self) -> int:
+        return log2_exact(self.chunk_words, "chunk_words")
+
+    @property
+    def bank_bits(self) -> int:
+        return log2_exact(self.num_banks, "num_banks")
+
+    @property
+    def logical_banks(self) -> int:
+        """Number of logical banks after the section-4.1.3 transformation:
+        ``W * N * M``."""
+        return self.chunk_words * self.num_banks
+
+    def bank_of(self, address: int) -> int:
+        """Physical bank owning machine-word ``address``."""
+        if address < 0:
+            raise VectorSpecError(f"address must be >= 0, got {address}")
+        return (address >> self.chunk_bits) & (self.num_banks - 1)
+
+    def local_word(self, address: int) -> int:
+        """Index of ``address`` within its bank's local storage."""
+        if address < 0:
+            raise VectorSpecError(f"address must be >= 0, got {address}")
+        chunk = address >> self.chunk_bits
+        offset = address & (self.chunk_words - 1)
+        return (chunk >> self.bank_bits) * self.chunk_words + offset
+
+    def logical_bank_of(self, address: int) -> int:
+        """Logical bank (word-interleaved over ``W*N*M`` banks) owning
+        ``address`` — simply ``address mod (W*N*M)``."""
+        if address < 0:
+            raise VectorSpecError(f"address must be >= 0, got {address}")
+        return address & (self.logical_banks - 1)
+
+    def physical_bank_of_logical(self, logical_bank: int) -> int:
+        """Which physical bank hosts a given logical bank."""
+        if not 0 <= logical_bank < self.logical_banks:
+            raise ConfigurationError(
+                f"logical bank {logical_bank} out of range "
+                f"[0, {self.logical_banks})"
+            )
+        return logical_bank >> self.chunk_bits

@@ -1,0 +1,21 @@
+"""Vector kernels (Table 2) and command-trace generation (section 6.2)."""
+
+from repro.kernels.kernels import (
+    KERNELS,
+    Kernel,
+    kernel_by_name,
+)
+from repro.kernels.traces import (
+    ALIGNMENTS,
+    Alignment,
+    build_trace,
+)
+
+__all__ = [
+    "KERNELS",
+    "Kernel",
+    "kernel_by_name",
+    "ALIGNMENTS",
+    "Alignment",
+    "build_trace",
+]

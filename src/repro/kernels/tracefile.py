@@ -1,0 +1,132 @@
+"""Trace (de)serialization: command streams as JSON documents.
+
+A downstream user wants to capture a workload once and replay it across
+configurations, or generate traces outside Python.  The format is
+deliberately plain::
+
+    {
+      "version": 1,
+      "commands": [
+        {"kind": "vector", "access": "read", "base": 0, "stride": 19,
+         "length": 32, "tag": "copy.x.read[0]"},
+        {"kind": "vector", "access": "write", "base": 64, "stride": 1,
+         "length": 32, "data": [1, 2, ...]},
+        {"kind": "explicit", "access": "read", "addresses": [5, 99, 3],
+         "broadcast_cycles": 3}
+      ]
+    }
+
+``dumps``/``loads`` work on strings, ``save``/``load`` on paths.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.errors import VectorSpecError
+from repro.types import AccessType, ExplicitCommand, Vector, VectorCommand
+
+__all__ = ["dumps", "loads", "save", "load"]
+
+_FORMAT_VERSION = 1
+
+AnyCommand = Union[VectorCommand, ExplicitCommand]
+
+
+def _encode(command: AnyCommand) -> dict:
+    if isinstance(command, ExplicitCommand):
+        record = {
+            "kind": "explicit",
+            "access": command.access.value,
+            "addresses": list(command.addresses),
+            "broadcast_cycles": command.broadcast_cycles,
+        }
+    else:
+        record = {
+            "kind": "vector",
+            "access": command.access.value,
+            "base": command.vector.base,
+            "stride": command.vector.stride,
+            "length": command.vector.length,
+        }
+    if command.tag is not None:
+        record["tag"] = command.tag
+    if command.data is not None:
+        record["data"] = list(command.data)
+    return record
+
+
+def _decode(record: dict) -> AnyCommand:
+    try:
+        kind = record["kind"]
+        access = AccessType(record["access"])
+    except (KeyError, ValueError) as error:
+        raise VectorSpecError(f"malformed trace record: {record!r}") from error
+    tag = record.get("tag")
+    data = tuple(record["data"]) if "data" in record else None
+    if kind == "vector":
+        try:
+            vector = Vector(
+                base=record["base"],
+                stride=record["stride"],
+                length=record["length"],
+            )
+        except KeyError as error:
+            raise VectorSpecError(
+                f"vector record missing field: {record!r}"
+            ) from error
+        return VectorCommand(vector=vector, access=access, tag=tag, data=data)
+    if kind == "explicit":
+        try:
+            return ExplicitCommand(
+                addresses=tuple(record["addresses"]),
+                access=access,
+                broadcast_cycles=record["broadcast_cycles"],
+                tag=tag,
+                data=data,
+            )
+        except KeyError as error:
+            raise VectorSpecError(
+                f"explicit record missing field: {record!r}"
+            ) from error
+    raise VectorSpecError(f"unknown command kind {kind!r}")
+
+
+def dumps(commands: Sequence[AnyCommand]) -> str:
+    """Serialize a command trace to a JSON string."""
+    document = {
+        "version": _FORMAT_VERSION,
+        "commands": [_encode(c) for c in commands],
+    }
+    return json.dumps(document, indent=2)
+
+
+def loads(text: str) -> List[AnyCommand]:
+    """Parse a JSON trace; validates structure and command fields."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise VectorSpecError(f"trace is not valid JSON: {error}") from error
+    if not isinstance(document, dict) or "commands" not in document:
+        raise VectorSpecError("trace document must contain 'commands'")
+    version = document.get("version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise VectorSpecError(
+            f"unsupported trace version {version} "
+            f"(this library reads version {_FORMAT_VERSION})"
+        )
+    return [_decode(record) for record in document["commands"]]
+
+
+def save(commands: Sequence[AnyCommand], path: Union[str, Path]) -> Path:
+    """Write a trace file; returns the path."""
+    path = Path(path)
+    path.write_text(dumps(commands) + "\n")
+    return path
+
+
+def load(path: Union[str, Path]) -> List[AnyCommand]:
+    """Read a trace file."""
+    return loads(Path(path).read_text())

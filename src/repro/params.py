@@ -1,0 +1,226 @@
+"""Configuration objects describing the simulated machine.
+
+Two dataclasses capture everything the simulators need:
+
+* :class:`SDRAMTiming` — per-device timing and geometry of the SDRAM parts
+  (the paper drives Micron 256 Mbit x16 parts: 4 internal banks, RAS and CAS
+  latencies of two cycles at 100 MHz).
+* :class:`SystemParams` — the memory-system geometry around the devices:
+  number of interleaved banks, cache-line size, vector-bus limits, and the
+  bank-controller microarchitecture knobs (vector contexts, FIFO depth,
+  bypass paths).
+
+Both are frozen; experiments derive variants with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.types import WORD_BYTES
+
+__all__ = ["SDRAMTiming", "SRAMTiming", "SystemParams", "is_power_of_two", "log2_exact"]
+
+
+def is_power_of_two(value: int) -> bool:
+    """True iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int, what: str = "value") -> int:
+    """Return ``log2(value)`` for an exact power of two, else raise."""
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class SDRAMTiming:
+    """Timing and geometry of one SDRAM bank (a 32-bit wide module built
+    from x16 parts, per section 5.1).
+
+    All latencies are in memory-bus clock cycles (100 MHz in the prototype).
+
+    Attributes
+    ----------
+    t_rcd:
+        RAS-to-CAS delay: cycles between a bank-activate (row open) and the
+        first column command to that row.  Paper: 2.
+    cas_latency:
+        Cycles between a READ command and its data appearing on the device
+        data pins.  Paper: 2.
+    t_rp:
+        Precharge period: cycles after a PRECHARGE before the internal bank
+        can be activated again.  Paper models 2.
+    t_wr:
+        Write recovery: cycles after the last write datum before a
+        precharge of the same internal bank may be issued.
+    internal_banks:
+        Independent banks (row buffers) inside one device.  Paper: 4.
+    row_words:
+        Row (page) size per internal bank in machine words.  A 2 KB page of
+        a 32-bit module is 512 words.
+    """
+
+    t_rcd: int = 2
+    cas_latency: int = 2
+    t_rp: int = 2
+    t_wr: int = 1
+    internal_banks: int = 4
+    row_words: int = 512
+    #: Auto-refresh period in cycles; 0 disables refresh, which is what
+    #: the paper's evaluation implicitly assumes.  A realistic 100 MHz
+    #: part refreshing 8192 rows every 64 ms needs one refresh per ~780
+    #: cycles.
+    refresh_interval: int = 0
+    #: Cycles one auto-refresh occupies the whole device (rows close,
+    #: no activates until it completes).
+    t_rfc: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd", "cas_latency", "t_rp"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.t_wr < 0:
+            raise ConfigurationError("t_wr must be >= 0")
+        if self.refresh_interval < 0:
+            raise ConfigurationError("refresh_interval must be >= 0")
+        if self.t_rfc < 1:
+            raise ConfigurationError("t_rfc must be >= 1")
+        if not is_power_of_two(self.internal_banks):
+            raise ConfigurationError(
+                f"internal_banks must be a power of two, got {self.internal_banks}"
+            )
+        if not is_power_of_two(self.row_words):
+            raise ConfigurationError(
+                f"row_words must be a power of two, got {self.row_words}"
+            )
+
+    @property
+    def row_miss_penalty(self) -> int:
+        """Cycles added by a row conflict versus an open-row hit."""
+        return self.t_rp + self.t_rcd
+
+
+@dataclass(frozen=True)
+class SRAMTiming:
+    """Timing of the idealized SRAM used by the PVA-SRAM comparison system:
+    every access completes in ``access_cycles`` with no row state."""
+
+    access_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.access_cycles < 1:
+            raise ConfigurationError("access_cycles must be >= 1")
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Memory-system geometry and bank-controller microarchitecture.
+
+    Defaults reproduce the paper's prototype (section 5.1): 16 banks of
+    word-interleaved 32-bit SDRAM, 128-byte L2 lines (32-word vector
+    commands), a split-transaction bus with 8 outstanding transactions,
+    and bank controllers with 4 vector contexts.
+    """
+
+    num_banks: int = 16
+    cache_line_words: int = 32
+    max_transactions: int = 8
+    num_vector_contexts: int = 4
+    request_fifo_depth: int = 8
+    sdram: SDRAMTiming = field(default_factory=SDRAMTiming)
+    #: Cycles the FirstHit-Calculate multiply-add needs for a non-power-of-
+    #: two stride (29.5 ns FPGA critical path -> 2 cycles at 100 MHz).
+    fhc_latency: int = 2
+    #: One dead cycle whenever the data-bus direction reverses (5.2.5).
+    bus_turnaround: int = 1
+    #: Data cycles to stage one cache line over the 128-bit BC bus
+    #: (128 bytes at 8 bytes per cycle = 16, section 5.2.6).
+    @property
+    def stage_cycles(self) -> int:
+        return (self.cache_line_words * WORD_BYTES) // 8
+
+    #: Enable the latency-reduction bypass paths of section 5.2.3.
+    bypass_paths: bool = True
+    #: Row-management policy: "paper" (the prototype's ManageRow),
+    #: "close", "open", or "history" (Alpha 21174-style) — see
+    #: :mod:`repro.pva.rowpolicy`.
+    row_policy: str = "paper"
+    #: Minimum cycles between vector-command issues from the front end.
+    #: 0 models the paper's infinitely fast CPU (section 6.2); larger
+    #: values model a processor that produces commands at a finite rate.
+    issue_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.num_banks):
+            raise ConfigurationError(
+                f"num_banks must be a power of two, got {self.num_banks}"
+            )
+        if not is_power_of_two(self.cache_line_words):
+            raise ConfigurationError(
+                "cache_line_words must be a power of two, got "
+                f"{self.cache_line_words}"
+            )
+        if self.max_transactions < 1:
+            raise ConfigurationError("max_transactions must be >= 1")
+        if self.max_transactions > 8:
+            raise ConfigurationError(
+                "the vector bus carries a three-bit transaction id; "
+                f"max_transactions must be <= 8, got {self.max_transactions}"
+            )
+        if self.num_vector_contexts < 1:
+            raise ConfigurationError("num_vector_contexts must be >= 1")
+        if self.request_fifo_depth < self.max_transactions:
+            raise ConfigurationError(
+                "the register file must hold as many entries as the bus "
+                "allows outstanding transactions (section 5.2.2): depth "
+                f"{self.request_fifo_depth} < {self.max_transactions}"
+            )
+        if self.fhc_latency < 1:
+            raise ConfigurationError("fhc_latency must be >= 1")
+        if self.bus_turnaround < 0:
+            raise ConfigurationError("bus_turnaround must be >= 0")
+        if self.issue_interval < 0:
+            raise ConfigurationError("issue_interval must be >= 0")
+
+    @property
+    def bank_bits(self) -> int:
+        """``m`` such that ``num_banks == 2**m``."""
+        return log2_exact(self.num_banks, "num_banks")
+
+    @property
+    def line_bytes(self) -> int:
+        return self.cache_line_words * WORD_BYTES
+
+    @property
+    def max_vector_length(self) -> int:
+        """Longest vector one bus command may carry (one cache line)."""
+        return self.cache_line_words
+
+    def with_banks(self, num_banks: int) -> "SystemParams":
+        """A copy of these parameters with a different bank count."""
+        return replace(self, num_banks=num_banks)
+
+    def describe(self) -> Dict[str, int]:
+        """Flat summary used by reports and benchmarks."""
+        return {
+            "num_banks": self.num_banks,
+            "cache_line_words": self.cache_line_words,
+            "max_transactions": self.max_transactions,
+            "num_vector_contexts": self.num_vector_contexts,
+            "request_fifo_depth": self.request_fifo_depth,
+            "t_rcd": self.sdram.t_rcd,
+            "cas_latency": self.sdram.cas_latency,
+            "t_rp": self.sdram.t_rp,
+            "internal_banks": self.sdram.internal_banks,
+            "row_words": self.sdram.row_words,
+            "fhc_latency": self.fhc_latency,
+            "stage_cycles": self.stage_cycles,
+        }
+
+
+# The canonical prototype configuration used throughout the evaluation.
+PROTOTYPE = SystemParams()

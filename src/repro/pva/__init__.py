@@ -1,0 +1,12 @@
+"""The PVA memory-controller back end (chapter 5).
+
+Cycle-level models of the bank controller's subcomponents — FirstHit
+Predict, Request FIFO / Register File, FirstHit Calculate, the access
+scheduler with its vector contexts and scheduling policy, staging units —
+and the full :class:`~repro.pva.system.PVAMemorySystem` that drives 16 of
+them over a split-transaction vector bus.
+"""
+
+from repro.pva.system import PVAMemorySystem
+
+__all__ = ["PVAMemorySystem"]

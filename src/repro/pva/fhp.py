@@ -1,0 +1,114 @@
+"""FirstHit Predict (FHP) and FirstHit Calculate (FHC) units.
+
+The FHP watches vector requests on the BC bus and decides, in the broadcast
+cycle, whether any element of the request hits this bank (a PLA lookup,
+section 5.2.2).  For power-of-two strides it also completes the FirstHit
+*address* computation — a shift and mask — so the request enters the
+Request FIFO with its ACC flag already set.
+
+For other strides the FirstHit address needs ``B + S * K_i``: a multiply
+and add that the synthesized prototype completes in two cycles.  That is
+the FHC's job; it scans newly queued Register File entries whose ACC flag
+is clear and fills in the address.  Because the FHC runs in parallel with
+the access scheduler, its latency is completely hidden whenever the
+scheduler is busy; the bypass path of section 5.2.3 removes the
+write-back cycle when the bank controller is otherwise idle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.decode import BankDecoder
+from repro.core.pla import K1PLA
+from repro.core.subvector import SubVector
+from repro.params import SystemParams
+from repro.types import Vector
+
+__all__ = ["FirstHitPredictor", "FirstHitCalculator"]
+
+
+class FirstHitPredictor:
+    """Per-bank FirstHit logic: PLA lookup + shift/mask address path.
+
+    One instance per bank controller; the PLA contents depend only on the
+    bank count, so all instances share a :class:`~repro.core.pla.K1PLA`.
+    """
+
+    def __init__(self, bank: int, params: SystemParams, pla: K1PLA):
+        self.bank = bank
+        self.params = params
+        self.pla = pla
+        self._decoder = BankDecoder(num_banks=params.num_banks, block_words=1)
+
+    def predict(self, vector: Vector) -> Optional[SubVector]:
+        """Evaluate a broadcast request: the subvector this bank owns, or
+        ``None`` when no element hits here.
+
+        Mirrors the hardware steps of section 4.2: decode the base bank,
+        look up ``(s, delta, K1)``, test the bank distance against
+        ``2**s``, and form ``K_i`` with a multiply and mask.
+        """
+        b0 = self._decoder.bank_of(vector.base)
+        d = (self.bank - b0) % self.params.num_banks
+        k = self.pla.first_hit_index(vector.stride, d)
+        if k is None or k >= vector.length:
+            return None
+        entry = self.pla.entry(vector.stride)
+        count = (vector.length - 1 - k) // entry.delta + 1
+        return SubVector(
+            bank=self.bank,
+            first_index=k,
+            delta=entry.delta,
+            count=count,
+            first_address=vector.base + vector.stride * k,
+            address_step=vector.stride * entry.delta,
+        )
+
+    def stride_is_power_of_two(self, stride: int) -> bool:
+        """Can the FHP complete the address itself (shift and mask)?"""
+        return self.pla.entry(stride).power_of_two
+
+    def local_address(self, word_address: int) -> int:
+        """Bank-internal word index of a global word address."""
+        return word_address >> self.params.bank_bits
+
+    def local_step(self, sub: SubVector) -> int:
+        """Local word step between consecutive owned elements.
+
+        ``S * delta`` is always a multiple of the bank count (theorem 4.4's
+        proof), so the division is exact.
+        """
+        return sub.address_step >> self.params.bank_bits
+
+
+class FirstHitCalculator:
+    """The serial multiply-and-add unit for non-power-of-two strides.
+
+    Models occupancy only: requests are processed in arrival order, each
+    taking ``fhc_latency`` cycles, overlapping scheduler activity.  The
+    actual arithmetic was already performed (functionally) by the FHP
+    prediction; the FHC determines *when* the result becomes visible.
+    """
+
+    def __init__(self, params: SystemParams):
+        self.params = params
+        self._busy_until = 0
+        self.calculations = 0
+
+    def schedule(self, arrival_cycle: int, bank_idle: bool) -> int:
+        """Cycle at which the request's ACC flag becomes visible to the
+        scheduler.
+
+        ``bank_idle`` enables the FHC-to-VC bypass path: with no other
+        outstanding request, the result feeds the last vector context
+        directly instead of being written back through the register file,
+        saving one cycle (section 5.2.3).
+        """
+        start = max(arrival_cycle, self._busy_until)
+        finish = start + self.params.fhc_latency
+        self._busy_until = finish
+        self.calculations += 1
+        if self.params.bypass_paths and bank_idle:
+            return finish
+        return finish + 1  # register-file write-back cycle

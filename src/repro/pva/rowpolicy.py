@@ -1,0 +1,198 @@
+"""Row-management policies for the access scheduler.
+
+The paper's ManageRow heuristic (section 5.2.2) is the default; the
+alternatives exist for the ablation study called out in DESIGN.md:
+
+* ``paper``   — predict-line driven ManageRow with the one-bit
+  autoprecharge predictor (the prototype's policy).
+* ``close``   — closed-page: auto-precharge every access.
+* ``open``    — open-page: never auto-precharge; rows close only via the
+  explicit precharge a conflicting context forces.
+* ``history`` — an Alpha 21174-style predictor (section 2.4.1): a four-bit
+  hit/miss history per internal bank indexes a 16-bit precharge policy
+  register.
+
+A policy answers one question per column access — close the row with this
+access or leave it open — given the scheduler's predict lines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["make_row_policy", "PaperPolicy", "ClosePolicy", "OpenPolicy", "HistoryPolicy"]
+
+
+class PaperPolicy:
+    """The prototype's ManageRow algorithm.
+
+    The decision inputs (more-hit / close predict lines, the predictor
+    bit) are computed by the scheduler and passed in, mirroring the wired-
+    OR lines shared among the vector contexts.
+    """
+
+    name = "paper"
+
+    def __init__(self, internal_banks: int):
+        self.autoprecharge_predict = [False] * internal_banks
+
+    def note_first_operation(
+        self, internal_bank: int, row_continues: bool
+    ) -> None:
+        """Train on the first operation of a new vector request.
+
+        The predictor detects "most simple loops": when consecutive vector
+        requests keep landing in the same row, the row should stay open at
+        request completion; when they do not, it should be auto-precharged.
+        (The draft paper's prose reads "set to one if the row ... matches",
+        which closes exactly the rows loops reuse — we take that as a typo
+        and store the precharge decision as *not* row-continues, which is
+        the reading consistent with the stated goal.  The effect is
+        measurable: with the literal reading, unit-stride kernels pay one
+        activate per command per bank instead of one per row.)
+        """
+        self.autoprecharge_predict[internal_bank] = not row_continues
+
+    def observe_access(self, internal_bank: int, row_hit: bool) -> None:
+        """ManageRow needs no per-access history."""
+
+    def decide(
+        self,
+        internal_bank: int,
+        last_of_request: bool,
+        more_hits: bool,
+        close_predicted: bool,
+    ) -> bool:
+        """True = auto-precharge with this access."""
+        if more_hits:
+            return False
+        if last_of_request:
+            if close_predicted:
+                return True
+            return self.autoprecharge_predict[internal_bank]
+        return True
+
+
+class ClosePolicy:
+    """Closed-page: precharge after every access."""
+
+    name = "close"
+
+    def __init__(self, internal_banks: int):
+        pass
+
+    def note_first_operation(self, internal_bank: int, row_continues: bool) -> None:
+        pass
+
+    def observe_access(self, internal_bank: int, row_hit: bool) -> None:
+        pass
+
+    def decide(
+        self,
+        internal_bank: int,
+        last_of_request: bool,
+        more_hits: bool,
+        close_predicted: bool,
+    ) -> bool:
+        return True
+
+
+class OpenPolicy:
+    """Open-page: never auto-precharge."""
+
+    name = "open"
+
+    def __init__(self, internal_banks: int):
+        pass
+
+    def note_first_operation(self, internal_bank: int, row_continues: bool) -> None:
+        pass
+
+    def observe_access(self, internal_bank: int, row_hit: bool) -> None:
+        pass
+
+    def decide(
+        self,
+        internal_bank: int,
+        last_of_request: bool,
+        more_hits: bool,
+        close_predicted: bool,
+    ) -> bool:
+        return False
+
+
+class HistoryPolicy:
+    """Alpha 21174-style adaptive hot-row management (section 2.4.1).
+
+    A four-bit shift register per internal bank records whether recent
+    accesses hit the open row; a 16-bit policy register, indexed by the
+    history, says whether to keep the row open.  The default register
+    leaves a row open when at least two of the last four accesses hit —
+    the majority policy the 21174 documentation suggests software set.
+    """
+
+    name = "history"
+
+    @staticmethod
+    def majority_policy_register() -> int:
+        """Bit ``h`` set = leave open for history ``h`` (1 bits = hits)."""
+        register = 0
+        for history in range(16):
+            if bin(history).count("1") >= 2:
+                register |= 1 << history
+        return register
+
+    def __init__(self, internal_banks: int, policy_register: int = -1):
+        if policy_register == -1:
+            policy_register = self.majority_policy_register()
+        if not 0 <= policy_register < (1 << 16):
+            raise ConfigurationError(
+                "policy_register must be a 16-bit value, got "
+                f"{policy_register}"
+            )
+        self.policy_register = policy_register
+        self.history: List[int] = [0] * internal_banks
+
+    def note_first_operation(self, internal_bank: int, row_continues: bool) -> None:
+        pass
+
+    def observe_access(self, internal_bank: int, row_hit: bool) -> None:
+        self.history[internal_bank] = (
+            (self.history[internal_bank] << 1) | int(row_hit)
+        ) & 0xF
+
+    def decide(
+        self,
+        internal_bank: int,
+        last_of_request: bool,
+        more_hits: bool,
+        close_predicted: bool,
+    ) -> bool:
+        if more_hits:
+            # Definite knowledge beats prediction, as in the PVA design.
+            return False
+        leave_open = bool(
+            self.policy_register >> self.history[internal_bank] & 1
+        )
+        return not leave_open
+
+
+_POLICIES = {
+    "paper": PaperPolicy,
+    "close": ClosePolicy,
+    "open": OpenPolicy,
+    "history": HistoryPolicy,
+}
+
+
+def make_row_policy(name: str, internal_banks: int):
+    """Instantiate a row policy by name."""
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown row policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return factory(internal_banks)

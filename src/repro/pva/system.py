@@ -1,0 +1,462 @@
+"""The full PVA memory system: front end, vector bus, bank controllers.
+
+Implements the overall operation of section 5.2.6 under the evaluation
+assumptions of section 6.2 (an infinitely fast CPU that issues vector
+commands as soon as bus and transaction resources allow):
+
+* **VEC_READ** — one request cycle broadcasts ``<B, S, id>`` to all bank
+  controllers; each gathers its subvector in parallel; when every BC
+  releases the transaction-complete line the front end issues a
+  **STAGE_READ** (one command cycle) and the BCs merge the 128-byte line
+  over 16 data cycles of the 128-bit BC bus.
+* **VEC_WRITE** — the front end first issues **STAGE_WRITE** and streams
+  the line over 16 data cycles, then broadcasts the VEC_WRITE command;
+  the transaction-complete line deasserting signals commitment.
+
+The bus multiplexes requests and data (one action per cycle) and pays one
+turnaround cycle when the data direction between memory controller and
+BCs reverses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.pla import K1PLA
+from repro.errors import ConfigurationError, ProtocolError, VectorSpecError
+from repro.interleave.logical import LogicalBankView
+from repro.interleave.schemes import InterleaveScheme
+from repro.params import SystemParams
+from repro.bus.vector_bus import VectorBus
+from repro.pva.bank_controller import BankController
+from repro.sdram.device import DeviceStats, SDRAMDevice
+from repro.sim.stats import BusStats, RunResult
+from repro.types import AccessType, ExplicitCommand, VectorCommand
+
+AnyCommand = Union[VectorCommand, ExplicitCommand]
+
+
+def _command_length(command: AnyCommand) -> int:
+    """Element count of either command flavour."""
+    if isinstance(command, ExplicitCommand):
+        return command.length
+    return command.vector.length
+
+__all__ = ["PVAMemorySystem"]
+
+#: Hard ceiling on simulated cycles, to turn scheduler bugs into errors
+#: instead of hangs.  Generous: the slowest serial baseline needs well
+#: under a thousand cycles per command.
+_MAX_CYCLES_PER_COMMAND = 4096
+
+
+@dataclass
+class _Transaction:
+    """Front-end bookkeeping for one outstanding bus transaction."""
+
+    txn_id: int
+    trace_index: int
+    is_write: bool
+    issue_cycle: int
+    expected: int
+    done: int = 0
+    last_data_cycle: int = -1
+    staged: bool = False  # reads: queued for / undergoing STAGE_READ
+
+
+class PVAMemorySystem:
+    """The paper's prototype: M word-interleaved banks behind a PVA unit.
+
+    Parameters
+    ----------
+    params:
+        Geometry and microarchitecture (defaults: the section 5.1
+        prototype).
+    device_factory:
+        Callable producing one memory-device model per bank; defaults to
+        the SDRAM module.  The PVA-SRAM comparison system passes an SRAM
+        factory here.
+    name:
+        Label used in results.
+    """
+
+    def __init__(
+        self,
+        params: Optional[SystemParams] = None,
+        device_factory: Optional[Callable[[SystemParams], object]] = None,
+        name: str = "pva-sdram",
+        interleave: Optional[InterleaveScheme] = None,
+    ):
+        self.params = params or SystemParams()
+        self.name = name
+        if device_factory is None:
+            device_factory = lambda p: SDRAMDevice(
+                p.sdram, bus_turnaround=p.bus_turnaround
+            )
+        if interleave is not None and (
+            interleave.num_banks != self.params.num_banks
+        ):
+            raise ConfigurationError(
+                f"interleave scheme has {interleave.num_banks} banks but "
+                f"the system has {self.params.num_banks}"
+            )
+        #: Non-word interleave (cache-line or block, section 4.1.3);
+        #: None selects the prototype's word-interleaved fast path.
+        self.interleave = (
+            None
+            if interleave is None or interleave.chunk_words == 1
+            else interleave
+        )
+        self._logical_view = (
+            LogicalBankView(self.interleave)
+            if self.interleave is not None
+            else None
+        )
+        pla = K1PLA(self.params.num_banks)
+        self.banks: List[BankController] = [
+            BankController(bank, self.params, device_factory(self.params), pla)
+            for bank in range(self.params.num_banks)
+        ]
+
+    def attach_command_logs(self):
+        """Attach a :class:`~repro.sim.trace_log.CommandLog` to every
+        bank's device and return them (indexed by bank number).
+
+        Call before :meth:`run`; the logs then capture the full SDRAM
+        command stream of the run, one logic-analyzer trace per device.
+        """
+        from repro.sim.trace_log import CommandLog
+
+        logs = []
+        for bank in self.banks:
+            log = CommandLog()
+            bank.device.log = log
+            logs.append(log)
+        return logs
+
+    # ----------------------------------------------------------------- #
+    # Functional memory access (test setup / verification)
+    # ----------------------------------------------------------------- #
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        if self.interleave is not None:
+            return (
+                self.interleave.bank_of(address),
+                self.interleave.local_word(address),
+            )
+        bank = address & (self.params.num_banks - 1)
+        return bank, address >> self.params.bank_bits
+
+    def poke(self, address: int, value: int) -> None:
+        """Write one word directly into the backing storage."""
+        bank, local = self._locate(address)
+        self.banks[bank].device.poke(local, value)
+
+    def peek(self, address: int) -> int:
+        """Read one word directly from the backing storage."""
+        bank, local = self._locate(address)
+        return self.banks[bank].device.peek(local)
+
+    # ----------------------------------------------------------------- #
+    # Trace execution
+    # ----------------------------------------------------------------- #
+
+    def run(
+        self,
+        commands: Sequence[VectorCommand],
+        capture_data: bool = False,
+    ) -> RunResult:
+        """Execute a command trace; return cycle counts and statistics."""
+        for command in commands:
+            if _command_length(command) > self.params.max_vector_length:
+                raise VectorSpecError(
+                    f"command length {_command_length(command)} exceeds "
+                    f"the cache-line command limit "
+                    f"{self.params.max_vector_length}; split it first"
+                )
+        bus = VectorBus(self.params)
+        free_ids: Deque[int] = deque(range(self.params.max_transactions))
+        outstanding: Dict[int, _Transaction] = {}
+        stage_queue: Deque[_Transaction] = deque()
+        releases: List[Tuple[int, int]] = []  # (cycle, txn_id)
+        read_lines: Optional[List[Optional[Tuple[int, ...]]]] = None
+        read_order: List[int] = []
+        if capture_data:
+            read_order = [
+                i for i, c in enumerate(commands) if c.access is AccessType.READ
+            ]
+            read_lines = [None] * len(read_order)
+        read_slot_of_trace = {t: i for i, t in enumerate(read_order)}
+        latencies: List[int] = [0] * len(commands)
+
+        next_cmd = 0
+        cycle = 0
+        end_cycle = 0
+        next_issue_allowed = 0
+        issue_interval = self.params.issue_interval
+        limit = max(1, len(commands)) * _MAX_CYCLES_PER_COMMAND
+
+        while next_cmd < len(commands) or outstanding:
+            if cycle > limit:
+                raise ProtocolError(
+                    f"simulation exceeded {limit} cycles — scheduler "
+                    "deadlock or runaway trace"
+                )
+            # -- release transaction ids whose staging transfer finished --
+            if releases:
+                still: List[Tuple[int, int]] = []
+                for when, txn_id in releases:
+                    if when <= cycle:
+                        free_ids.append(txn_id)
+                    else:
+                        still.append((when, txn_id))
+                releases = still
+
+            # -- one bus action per cycle ---------------------------------
+            # New commands take the bus while transaction ids remain (the
+            # infinitely-fast-CPU front end keeps the banks fed); staged
+            # read returns drain otherwise.  Staging strictly first would
+            # starve broadcasts whenever completions return quickly.
+            if bus.is_free(cycle):
+                issue_first = (
+                    next_cmd < len(commands)
+                    and free_ids
+                    and cycle >= next_issue_allowed
+                )
+                if stage_queue and not issue_first:
+                    txn = stage_queue.popleft()
+                    line = self._assemble_line(txn.txn_id, commands[txn.trace_index])
+                    if read_lines is not None:
+                        read_lines[read_slot_of_trace[txn.trace_index]] = line
+                    transfer_end = bus.stage_read(cycle)
+                    releases.append((transfer_end, txn.txn_id))
+                    latencies[txn.trace_index] = (
+                        transfer_end - txn.issue_cycle
+                    )
+                    del outstanding[txn.txn_id]
+                    end_cycle = max(end_cycle, transfer_end)
+                elif issue_first:
+                    command = commands[next_cmd]
+                    txn_id = free_ids.popleft()
+                    request_cycles = (
+                        command.broadcast_cycles
+                        if isinstance(command, ExplicitCommand)
+                        else 1
+                    )
+                    if command.access is AccessType.READ:
+                        self._broadcast(txn_id, command, cycle, None)
+                        bus.broadcast_request(cycle, request_cycles)
+                        outstanding[txn_id] = _Transaction(
+                            txn_id=txn_id,
+                            trace_index=next_cmd,
+                            is_write=False,
+                            issue_cycle=cycle,
+                            expected=_command_length(command),
+                        )
+                    else:
+                        # STAGE_WRITE command + data cycles, then the
+                        # VEC_WRITE (or explicit-address) broadcast.
+                        line = self._write_line(command)
+                        vec_write_cycle = bus.stage_write(
+                            cycle, request_cycles
+                        )
+                        self._broadcast(txn_id, command, vec_write_cycle, line)
+                        outstanding[txn_id] = _Transaction(
+                            txn_id=txn_id,
+                            trace_index=next_cmd,
+                            is_write=True,
+                            issue_cycle=cycle,
+                            expected=_command_length(command),
+                        )
+                    next_cmd += 1
+                    next_issue_allowed = cycle + issue_interval
+
+            # -- clock the bank controllers -------------------------------
+            for bank in self.banks:
+                issued = bank.tick(cycle)
+                if issued is not None:
+                    txn = outstanding.get(issued.txn_id)
+                    if txn is None:
+                        raise ProtocolError(
+                            f"bank {bank.bank} issued for unknown "
+                            f"transaction {issued.txn_id}"
+                        )
+                    txn.done += 1
+                    if issued.data_cycle > txn.last_data_cycle:
+                        txn.last_data_cycle = issued.data_cycle
+
+            # -- transaction-complete lines -------------------------------
+            for txn in list(outstanding.values()):
+                if txn.done < txn.expected or cycle < txn.last_data_cycle:
+                    continue
+                if txn.is_write:
+                    for bank in self.banks:
+                        bank.release_write(txn.txn_id)
+                    free_ids.append(txn.txn_id)
+                    latencies[txn.trace_index] = cycle + 1 - txn.issue_cycle
+                    del outstanding[txn.txn_id]
+                    end_cycle = max(end_cycle, cycle + 1)
+                elif not txn.staged:
+                    txn.staged = True
+                    stage_queue.append(txn)
+
+            cycle += 1
+
+        device_stats = self._aggregate_device_stats()
+        reads = sum(1 for c in commands if c.access is AccessType.READ)
+        writes = len(commands) - reads
+        result = RunResult(
+            system=self.name,
+            cycles=max(end_cycle, cycle),
+            commands=len(commands),
+            read_commands=reads,
+            write_commands=writes,
+            elements_read=sum(
+                _command_length(c)
+                for c in commands
+                if c.access is AccessType.READ
+            ),
+            elements_written=sum(
+                _command_length(c)
+                for c in commands
+                if c.access is AccessType.WRITE
+            ),
+            device=device_stats,
+            bus=bus.stats,
+            command_latencies=latencies,
+        )
+        if read_lines is not None:
+            result.read_lines = [
+                line if line is not None else ()
+                for line in read_lines
+            ]
+        return result
+
+    # ----------------------------------------------------------------- #
+    # Internals
+    # ----------------------------------------------------------------- #
+
+    def _broadcast(
+        self,
+        txn_id: int,
+        command: AnyCommand,
+        cycle: int,
+        write_line: Optional[Tuple[int, ...]],
+    ) -> None:
+        is_write = command.access is AccessType.WRITE
+        total = 0
+        if self.interleave is not None:
+            total = self._broadcast_interleaved(
+                txn_id, command, cycle, write_line
+            )
+        elif isinstance(command, ExplicitCommand):
+            for bank in self.banks:
+                total += bank.broadcast_explicit(
+                    txn_id,
+                    command.addresses,
+                    is_write,
+                    cycle,
+                    write_line=write_line,
+                )
+        else:
+            for bank in self.banks:
+                total += bank.broadcast(
+                    txn_id,
+                    command.vector,
+                    is_write,
+                    cycle,
+                    write_line=write_line,
+                )
+        if total != _command_length(command):
+            raise ProtocolError(
+                f"banks claimed {total} elements of a "
+                f"{_command_length(command)}-element command — element "
+                "partition broken"
+            )
+
+    def _broadcast_interleaved(
+        self,
+        txn_id: int,
+        command: AnyCommand,
+        cycle: int,
+        write_line: Optional[Tuple[int, ...]],
+    ) -> int:
+        """Broadcast under a cache-line/block interleave (section 4.1.3).
+
+        Each bank controller conceptually runs ``W*N`` copies of the
+        word-interleave FirstHit logic over the logical-bank view; the
+        resulting per-bank element lists are queued with the same
+        FHP/FHC pipeline timing as the word-interleaved unit.
+        """
+        scheme = self.interleave
+        is_write = command.access is AccessType.WRITE
+        total = 0
+        if isinstance(command, ExplicitCommand):
+            per_bank = {bank.bank: [] for bank in self.banks}
+            for index, address in enumerate(command.addresses):
+                per_bank[scheme.bank_of(address)].append(
+                    (scheme.local_word(address), index)
+                )
+            stride = None
+        else:
+            per_bank = {
+                bank.bank: [
+                    (scheme.local_word(address), index)
+                    for index, address in self._logical_view.subvector(
+                        command.vector, bank.bank
+                    )
+                ]
+                for bank in self.banks
+            }
+            stride = command.vector.stride
+        for bank in self.banks:
+            total += bank.broadcast_pairs(
+                txn_id,
+                tuple(per_bank[bank.bank]),
+                is_write,
+                cycle,
+                write_line=write_line,
+                stride=stride,
+            )
+        return total
+
+    def _write_line(self, command: AnyCommand) -> Tuple[int, ...]:
+        """The cache line the front end stages ahead of a VEC_WRITE.
+
+        ``command.data`` supplies real data; performance traces without
+        data scatter a deterministic placeholder pattern.
+        """
+        length = _command_length(command)
+        if command.data is not None:
+            if len(command.data) < length:
+                raise VectorSpecError(
+                    f"write command carries {len(command.data)} words for a "
+                    f"{length}-element vector"
+                )
+            return tuple(command.data)
+        return tuple(range(length))
+
+    def _assemble_line(
+        self, txn_id: int, command: AnyCommand
+    ) -> Tuple[int, ...]:
+        """Merge the staged subvectors of all banks into the dense line
+        returned to the processor (gathered in index order)."""
+        line: List[int] = [0] * _command_length(command)
+        for bank in self.banks:
+            for index, value in bank.drain_read(txn_id):
+                line[index] = value
+        return tuple(line)
+
+    def _aggregate_device_stats(self) -> DeviceStats:
+        total = DeviceStats()
+        for bank in self.banks:
+            stats = bank.device.stats()
+            total.activates += stats.activates
+            total.precharges += stats.precharges
+            total.auto_precharges += stats.auto_precharges
+            total.reads += stats.reads
+            total.writes += stats.writes
+            total.turnarounds += stats.turnarounds
+        return total

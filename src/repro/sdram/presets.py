@@ -1,0 +1,57 @@
+"""Named SDRAM timing presets.
+
+Chapter 2 surveys the DRAM technology of the era; these presets express
+representative points of that landscape in the simulator's timing
+vocabulary (memory-bus cycles at the prototype's 100 MHz), so the PVA's
+sensitivity to the underlying part can be swept:
+
+* ``PC100_SDRAM`` — the paper's part: Micron 256 Mbit-class SDRAM,
+  RAS/CAS latency two cycles each, four internal banks (section 5.1).
+* ``FAST_PAGE_MODE`` — an FPM-era part (section 2.3.1): slower core, a
+  single internal bank (no overlap between banks), smaller pages.
+* ``EDO`` — EDO DRAM (section 2.3.2): FPM timing with one cycle shaved
+  off the effective CAS path thanks to the output latch, still a single
+  internal bank.
+* ``DDR_CLASS`` — a faster, more deeply banked part in the SLDRAM/DDR
+  direction (section 2.3.4): tighter precharge, more internal banks.
+
+Presets are plain :class:`~repro.params.SDRAMTiming` values; build a
+system with ``SystemParams(sdram=PRESETS[name])``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.params import SDRAMTiming
+
+__all__ = [
+    "PC100_SDRAM",
+    "FAST_PAGE_MODE",
+    "EDO",
+    "DDR_CLASS",
+    "PRESETS",
+]
+
+PC100_SDRAM = SDRAMTiming(
+    t_rcd=2, cas_latency=2, t_rp=2, t_wr=1, internal_banks=4, row_words=512
+)
+
+FAST_PAGE_MODE = SDRAMTiming(
+    t_rcd=4, cas_latency=3, t_rp=4, t_wr=2, internal_banks=1, row_words=256
+)
+
+EDO = SDRAMTiming(
+    t_rcd=4, cas_latency=2, t_rp=4, t_wr=2, internal_banks=1, row_words=256
+)
+
+DDR_CLASS = SDRAMTiming(
+    t_rcd=2, cas_latency=2, t_rp=1, t_wr=1, internal_banks=8, row_words=512
+)
+
+PRESETS: Dict[str, SDRAMTiming] = {
+    "pc100-sdram": PC100_SDRAM,
+    "fpm": FAST_PAGE_MODE,
+    "edo": EDO,
+    "ddr-class": DDR_CLASS,
+}

@@ -1,0 +1,7 @@
+"""Simulation support: run results, statistics, and the memory-system
+runner protocol shared by the PVA unit and all baseline systems."""
+
+from repro.sim.stats import BusStats, RunResult
+from repro.sim.runner import MemorySystem
+
+__all__ = ["BusStats", "RunResult", "MemorySystem"]

@@ -1,0 +1,28 @@
+"""The memory-system protocol every simulated system implements."""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.sim.stats import RunResult
+from repro.types import VectorCommand
+
+__all__ = ["MemorySystem"]
+
+
+class MemorySystem(Protocol):
+    """A memory system that can execute a trace of vector commands.
+
+    Implementations: :class:`repro.pva.system.PVAMemorySystem`,
+    :class:`repro.baselines.cacheline_serial.CacheLineSerialSDRAM`,
+    :class:`repro.baselines.gathering_serial.GatheringSerialSDRAM`, and the
+    PVA-SRAM variant.
+    """
+
+    name: str
+
+    def run(
+        self, commands: Sequence[VectorCommand], capture_data: bool = False
+    ) -> RunResult:
+        """Execute ``commands`` in order and report cycle-level results."""
+        ...

@@ -1,0 +1,101 @@
+"""Run results and statistics.
+
+Every memory system in the library — the PVA unit, the PVA-SRAM variant
+and the two serial baselines — reports the same :class:`RunResult`, so the
+experiment harness can compare them uniformly.  ``cycles`` is the paper's
+figure of merit: memory-bus clock cycles from the first command issue to
+the completion of the last transaction, under the "infinitely fast CPU"
+assumption of section 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sdram.devstats import DeviceStats
+
+__all__ = ["BusStats", "RunResult"]
+
+
+@dataclass
+class BusStats:
+    """Occupancy of the shared vector bus."""
+
+    request_cycles: int = 0
+    data_cycles: int = 0
+    turnaround_cycles: int = 0
+
+    @property
+    def busy_cycles(self) -> int:
+        return self.request_cycles + self.data_cycles + self.turnaround_cycles
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of cycles the bus carried requests or data."""
+        if total_cycles <= 0:
+            return 0.0
+        return self.busy_cycles / total_cycles
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one command trace through a memory system."""
+
+    system: str
+    cycles: int
+    commands: int
+    read_commands: int
+    write_commands: int
+    elements_read: int
+    elements_written: int
+    device: DeviceStats = field(default_factory=DeviceStats)
+    bus: BusStats = field(default_factory=BusStats)
+    #: Gathered cache lines for read commands, in trace order, when the
+    #: run was asked to capture data (functional verification).
+    read_lines: Optional[List[Tuple[int, ...]]] = None
+    #: Per-command latency (issue cycle to completion: staging-transfer
+    #: end for reads, commit for writes), in trace order.  Populated by
+    #: the cycle-level PVA systems; None for the analytic baselines.
+    command_latencies: Optional[List[int]] = None
+
+    @property
+    def cycles_per_command(self) -> float:
+        if self.commands == 0:
+            return 0.0
+        return self.cycles / self.commands
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """How much faster this run is than ``other`` (ratio of cycles)."""
+        if self.cycles == 0:
+            raise ZeroDivisionError("run completed in zero cycles")
+        return other.cycles / self.cycles
+
+    def normalized_to(self, baseline: "RunResult") -> float:
+        """Execution time of this run as a fraction of ``baseline`` —
+        the paper's bar annotations (1.0 == 100%)."""
+        if baseline.cycles == 0:
+            raise ZeroDivisionError("baseline completed in zero cycles")
+        return self.cycles / baseline.cycles
+
+    def latency_summary(self) -> Optional[Dict[str, float]]:
+        """Min/mean/max per-command latency, when recorded."""
+        if not self.command_latencies:
+            return None
+        latencies = self.command_latencies
+        return {
+            "min": min(latencies),
+            "mean": round(sum(latencies) / len(latencies), 2),
+            "max": max(latencies),
+        }
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "system": self.system,
+            "cycles": self.cycles,
+            "commands": self.commands,
+            "cycles_per_command": round(self.cycles_per_command, 2),
+            "activates": self.device.activates,
+            "precharges": self.device.precharges + self.device.auto_precharges,
+            "row_reuse": self.device.row_reuse,
+            "bus_utilization": round(self.bus.utilization(self.cycles), 3),
+        }

@@ -1,0 +1,80 @@
+"""Text timelines from SDRAM command logs.
+
+Turns the per-device :class:`~repro.sim.trace_log.CommandLog` streams of a
+run into a compact bank x cycle Gantt chart — the view a hardware
+engineer gets from a logic analyzer, and the quickest way to *see*
+whether activates are being hidden under column traffic or whether a
+single bank is serialising a stride.
+
+Symbols: ``A`` activate, ``P`` explicit precharge, ``r``/``w`` column
+read/write, ``R``/``W`` column with auto-precharge, ``.`` idle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sdram.commands import SDRAMCommand
+from repro.sim.trace_log import CommandLog
+
+__all__ = ["render_timeline", "bank_utilization"]
+
+_SYMBOLS: Dict[SDRAMCommand, str] = {
+    SDRAMCommand.ACTIVATE: "A",
+    SDRAMCommand.PRECHARGE: "P",
+    SDRAMCommand.READ: "r",
+    SDRAMCommand.WRITE: "w",
+    SDRAMCommand.READ_AP: "R",
+    SDRAMCommand.WRITE_AP: "W",
+}
+
+
+def render_timeline(
+    logs: Sequence[CommandLog],
+    start: int = 0,
+    end: Optional[int] = None,
+    width: int = 100,
+) -> str:
+    """Render one row per bank over the cycle window ``[start, end)``.
+
+    ``end`` defaults to the last recorded event + 1; windows wider than
+    ``width`` cycles are truncated with an ellipsis note.
+    """
+    last = 0
+    for log in logs:
+        if log.events:
+            last = max(last, log.events[-1].cycle)
+    if end is None:
+        end = last + 1
+    end = max(end, start)
+    truncated = end - start > width
+    window_end = start + width if truncated else end
+
+    lines: List[str] = []
+    header_span = window_end - start
+    ruler = []
+    for offset in range(header_span):
+        cycle = start + offset
+        ruler.append("|" if cycle % 10 == 0 else " ")
+    lines.append("bank " + "".join(ruler) + f"   [{start}..{window_end})")
+    for bank, log in enumerate(logs):
+        row = ["."] * header_span
+        for event in log.events:
+            if start <= event.cycle < window_end:
+                row[event.cycle - start] = _SYMBOLS.get(event.command, "?")
+        lines.append(f"{bank:>4} " + "".join(row))
+    if truncated:
+        lines.append(f"     ... {end - window_end} more cycles")
+    lines.append(
+        "     A=activate P=precharge r/w=read/write R/W=with auto-precharge"
+    )
+    return "\n".join(lines)
+
+
+def bank_utilization(
+    logs: Sequence[CommandLog], total_cycles: int
+) -> List[float]:
+    """Fraction of cycles each bank's command bus carried a command."""
+    if total_cycles <= 0:
+        return [0.0] * len(logs)
+    return [log.busy_cycles() / total_cycles for log in logs]

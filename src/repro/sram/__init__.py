@@ -1,0 +1,5 @@
+"""Idealized SRAM substrate for the PVA-SRAM comparison system."""
+
+from repro.sram.device import SRAMDevice
+
+__all__ = ["SRAMDevice"]

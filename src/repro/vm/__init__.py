@@ -1,0 +1,6 @@
+"""Virtual-memory substrate: the memory-controller TLB with super-pages
+that the ``SplitVector`` algorithm of section 4.3.2 relies on."""
+
+from repro.vm.tlb import MMCTLB, PageMapping
+
+__all__ = ["MMCTLB", "PageMapping"]

@@ -1,0 +1,185 @@
+"""Matrix access-pattern workloads.
+
+The paper's introduction motivates the PVA with "programs that operate on
+large multi-dimensional arrays": walking a row-major array along a row is
+a unit-stride vector, along a column a stride-``C`` vector, and along a
+diagonal a stride-``C+1`` vector.  These generators produce the
+corresponding command traces so the memory systems can be compared on the
+workloads the paper talks about rather than only its kernels.
+
+All generators take a :class:`MatrixLayout` (row-major, word elements)
+and emit line-sized :class:`~repro.types.VectorCommand` chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.params import SystemParams
+from repro.types import AccessType, Vector, VectorCommand
+
+__all__ = [
+    "MatrixLayout",
+    "row_walk",
+    "column_walk",
+    "diagonal_walk",
+    "transpose",
+    "matrix_vector_by_diagonals",
+]
+
+
+@dataclass(frozen=True)
+class MatrixLayout:
+    """A row-major matrix of single-word elements in simulated memory."""
+
+    base: int
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ConfigurationError("matrix base must be >= 0")
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError("matrix dimensions must be positive")
+
+    def address(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigurationError(
+                f"element ({row}, {col}) outside {self.rows}x{self.cols}"
+            )
+        return self.base + row * self.cols + col
+
+    @property
+    def words(self) -> int:
+        return self.rows * self.cols
+
+
+def _chunk(
+    vector: Vector,
+    access: AccessType,
+    params: SystemParams,
+    tag: str,
+) -> List[VectorCommand]:
+    return [
+        VectorCommand(vector=piece, access=access, tag=f"{tag}[{i}]")
+        for i, piece in enumerate(vector.split(params.cache_line_words))
+    ]
+
+
+def row_walk(
+    matrix: MatrixLayout,
+    row: int,
+    params: Optional[SystemParams] = None,
+    access: AccessType = AccessType.READ,
+) -> List[VectorCommand]:
+    """Walk one row: the friendly, unit-stride case."""
+    params = params or SystemParams()
+    vector = Vector(
+        base=matrix.address(row, 0), stride=1, length=matrix.cols
+    )
+    return _chunk(vector, access, params, f"row{row}")
+
+
+def column_walk(
+    matrix: MatrixLayout,
+    col: int,
+    params: Optional[SystemParams] = None,
+    access: AccessType = AccessType.READ,
+) -> List[VectorCommand]:
+    """Walk one column: stride = the row length."""
+    params = params or SystemParams()
+    vector = Vector(
+        base=matrix.address(0, col), stride=matrix.cols, length=matrix.rows
+    )
+    return _chunk(vector, access, params, f"col{col}")
+
+
+def diagonal_walk(
+    matrix: MatrixLayout,
+    params: Optional[SystemParams] = None,
+    access: AccessType = AccessType.READ,
+) -> List[VectorCommand]:
+    """Walk the main diagonal: stride = cols + 1 (usually odd — the PVA's
+    best case even when the matrix width is a power of two)."""
+    params = params or SystemParams()
+    length = min(matrix.rows, matrix.cols)
+    vector = Vector(
+        base=matrix.address(0, 0), stride=matrix.cols + 1, length=length
+    )
+    return _chunk(vector, access, params, "diag")
+
+
+def transpose(
+    source: MatrixLayout,
+    destination: MatrixLayout,
+    params: Optional[SystemParams] = None,
+) -> List[VectorCommand]:
+    """Out-of-place transpose: read source rows densely, scatter them as
+    destination columns — one read command and one strided write command
+    per line-sized chunk, in program order."""
+    params = params or SystemParams()
+    if (source.rows, source.cols) != (destination.cols, destination.rows):
+        raise ConfigurationError(
+            "destination must have transposed dimensions"
+        )
+    commands: List[VectorCommand] = []
+    for row in range(source.rows):
+        reads = row_walk(source, row, params)
+        writes = _chunk(
+            Vector(
+                base=destination.address(0, row),
+                stride=destination.cols,
+                length=destination.rows,
+            ),
+            AccessType.WRITE,
+            params,
+            f"t-col{row}",
+        )
+        # Interleave chunk-by-chunk so each gathered line is immediately
+        # scattered, as a blocked transpose loop would.
+        for read_cmd, write_cmd in zip(reads, writes):
+            commands.append(read_cmd)
+            commands.append(write_cmd)
+    return commands
+
+
+def matrix_vector_by_diagonals(
+    matrix: MatrixLayout,
+    x_base: int,
+    y_base: int,
+    diagonals: int,
+    params: Optional[SystemParams] = None,
+) -> List[VectorCommand]:
+    """The vaxpy-generating workload: ``y += A_d * x`` per stored
+    diagonal ``d`` of a banded matrix (section 6.2: "a 'vector axpy'
+    operation that occurs in matrix-vector multiplication by diagonals").
+
+    Per diagonal: read the diagonal (stride cols+1), read x, read y,
+    write y.
+    """
+    params = params or SystemParams()
+    length = min(matrix.rows, matrix.cols) - (diagonals - 1)
+    if length <= 0:
+        raise ConfigurationError(
+            f"{diagonals} diagonals do not fit a "
+            f"{matrix.rows}x{matrix.cols} matrix"
+        )
+    commands: List[VectorCommand] = []
+    for d in range(diagonals):
+        diag = Vector(
+            base=matrix.address(0, d), stride=matrix.cols + 1, length=length
+        )
+        x = Vector(base=x_base, stride=1, length=length)
+        y = Vector(base=y_base, stride=1, length=length)
+        for array, access in (
+            (diag, AccessType.READ),
+            (x, AccessType.READ),
+            (y, AccessType.READ),
+            (y, AccessType.WRITE),
+        ):
+            commands.extend(
+                _chunk(array, access, params, f"mvd{d}")
+            )
+    return commands

@@ -1,0 +1,102 @@
+"""Seeded random command-stream generation.
+
+Used by stress tests and robustness benchmarks: arbitrary mixes of reads
+and writes over random bases/strides/lengths, optionally including
+explicit scatter/gather commands.  Fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.errors import ConfigurationError
+from repro.params import SystemParams
+from repro.types import AccessType, ExplicitCommand, Vector, VectorCommand
+
+__all__ = ["RandomTraceConfig", "random_trace"]
+
+
+@dataclass(frozen=True)
+class RandomTraceConfig:
+    """Distribution parameters for :func:`random_trace`."""
+
+    commands: int = 32
+    address_space_words: int = 1 << 16
+    max_stride: int = 64
+    write_fraction: float = 0.4
+    #: Fraction of commands that are explicit (indirect-style) rather
+    #: than base-stride.
+    explicit_fraction: float = 0.0
+    #: Emit full-line commands only (True) or random lengths (False).
+    full_lines: bool = True
+
+    def __post_init__(self) -> None:
+        if self.commands <= 0:
+            raise ConfigurationError("commands must be positive")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigurationError("write_fraction must be in [0, 1]")
+        if not 0.0 <= self.explicit_fraction <= 1.0:
+            raise ConfigurationError("explicit_fraction must be in [0, 1]")
+        if self.max_stride < 1:
+            raise ConfigurationError("max_stride must be >= 1")
+
+
+def random_trace(
+    seed: int,
+    params: SystemParams = None,
+    config: RandomTraceConfig = None,
+) -> List[Union[VectorCommand, ExplicitCommand]]:
+    """Generate a deterministic random command trace.
+
+    Addresses are kept inside ``config.address_space_words`` so traces
+    from the same config are directly comparable across systems.
+    """
+    params = params or SystemParams()
+    config = config or RandomTraceConfig()
+    rng = random.Random(seed)
+    line = params.cache_line_words
+    trace: List[Union[VectorCommand, ExplicitCommand]] = []
+    for index in range(config.commands):
+        length = (
+            line if config.full_lines else rng.randint(1, line)
+        )
+        is_write = rng.random() < config.write_fraction
+        access = AccessType.WRITE if is_write else AccessType.READ
+        data = (
+            tuple(rng.randrange(1 << 30) for _ in range(length))
+            if is_write
+            else None
+        )
+        if rng.random() < config.explicit_fraction:
+            addresses = tuple(
+                rng.randrange(config.address_space_words)
+                for _ in range(length)
+            )
+            trace.append(
+                ExplicitCommand(
+                    addresses=addresses,
+                    access=access,
+                    broadcast_cycles=1 + (length + 1) // 2,
+                    tag=f"rnd{index}",
+                    data=data,
+                )
+            )
+            continue
+        stride = rng.randint(1, config.max_stride)
+        span = (length - 1) * stride + 1
+        base_limit = config.address_space_words - span
+        if base_limit <= 0:
+            stride = 1
+            base_limit = config.address_space_words - length
+        base = rng.randrange(max(1, base_limit))
+        trace.append(
+            VectorCommand(
+                vector=Vector(base=base, stride=stride, length=length),
+                access=access,
+                tag=f"rnd{index}",
+                data=data,
+            )
+        )
+    return trace

@@ -1,0 +1,105 @@
+"""Tests pinning the simulators to the closed-form performance models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.model import (
+    available_parallelism,
+    bus_bound_cycles,
+    cacheline_serial_cycles,
+    gathering_serial_cycles,
+    per_bank_column_bound,
+    pva_lower_bound,
+)
+from repro.baselines.cacheline_serial import CacheLineSerialSDRAM
+from repro.baselines.gathering_serial import GatheringSerialSDRAM
+from repro.baselines.pva_sram import make_pva_sram
+from repro.kernels import build_trace, kernel_by_name
+from repro.params import SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.types import AccessType, Vector, VectorCommand
+
+PROTO = SystemParams()
+
+
+class TestParallelism:
+    def test_section_631_values(self):
+        assert available_parallelism(1, 16) == 16
+        assert available_parallelism(4, 16) == 4
+        assert available_parallelism(16, 16) == 1
+        assert available_parallelism(19, 16) == 16
+
+
+class TestBaselineFormulas:
+    @pytest.mark.parametrize("kernel", ["copy", "scale", "vaxpy", "tridiag"])
+    @pytest.mark.parametrize("stride", [1, 4, 16, 19])
+    def test_cacheline_simulator_matches_formula(self, kernel, stride):
+        trace = build_trace(
+            kernel_by_name(kernel), stride=stride, params=PROTO, elements=128
+        )
+        simulated = CacheLineSerialSDRAM(PROTO).run(trace).cycles
+        assert simulated == cacheline_serial_cycles(trace, PROTO)
+
+    @pytest.mark.parametrize("stride", [1, 4, 16, 19])
+    def test_gathering_simulator_matches_formula(self, stride):
+        trace = build_trace(
+            kernel_by_name("swap"), stride=stride, params=PROTO, elements=128
+        )
+        simulated = GatheringSerialSDRAM(PROTO).run(trace).cycles
+        assert simulated == gathering_serial_cycles(trace, PROTO)
+
+
+class TestPVABounds:
+    @pytest.mark.parametrize("kernel", ["copy", "scale", "swap", "vaxpy"])
+    @pytest.mark.parametrize("stride", [1, 2, 8, 16, 19])
+    def test_simulation_never_beats_lower_bound(self, kernel, stride):
+        trace = build_trace(
+            kernel_by_name(kernel), stride=stride, params=PROTO, elements=256
+        )
+        bound = pva_lower_bound(trace, PROTO)
+        for system in (PVAMemorySystem(PROTO), make_pva_sram(PROTO)):
+            assert system.run(trace).cycles >= bound
+
+    def test_bus_bound_is_tight_at_unit_stride(self):
+        """At stride 1 the PVA is bus-limited: the simulation lands within
+        ~10% of the occupancy bound."""
+        trace = build_trace(
+            kernel_by_name("copy"), stride=1, params=PROTO, elements=512
+        )
+        bound = bus_bound_cycles(trace, PROTO)
+        cycles = PVAMemorySystem(PROTO).run(trace).cycles
+        assert bound <= cycles <= bound * 1.10
+
+    def test_column_bound_dominates_at_single_bank_stride(self):
+        """At stride 16 every element of a vector lands in one bank: the
+        busiest-bank bound exceeds the bus bound per command."""
+        trace = build_trace(
+            kernel_by_name("scale"), stride=16, params=PROTO, elements=512
+        )
+        assert per_bank_column_bound(trace, PROTO) > 0
+        # All of scale's elements share one bank at stride 16.
+        assert per_bank_column_bound(trace, PROTO) == 2 * 512
+
+    def test_per_bank_bound_with_explicit_command(self):
+        from repro.types import ExplicitCommand
+
+        cmd = ExplicitCommand(
+            addresses=(0, 16, 32, 1),
+            access=AccessType.READ,
+            broadcast_cycles=3,
+        )
+        assert per_bank_column_bound([cmd], PROTO) == 3  # bank 0 gets 3
+
+    @given(
+        stride=st.integers(1, 64),
+        length=st.integers(1, 32),
+        base=st.integers(0, 1024),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bound_invariant_random_single_commands(self, stride, length, base):
+        command = VectorCommand(
+            vector=Vector(base=base, stride=stride, length=length),
+            access=AccessType.READ,
+        )
+        cycles = PVAMemorySystem(PROTO).run([command]).cycles
+        assert cycles >= pva_lower_bound([command], PROTO)

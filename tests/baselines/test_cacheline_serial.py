@@ -1,0 +1,81 @@
+"""Tests for the cache-line interleaved serial baseline (section 6.1)."""
+
+import pytest
+
+from repro.baselines.cacheline_serial import CacheLineSerialSDRAM
+from repro.params import SystemParams
+from repro.types import AccessType, Vector, VectorCommand
+
+
+def cmd(base, stride, length=32, access=AccessType.READ):
+    return VectorCommand(
+        vector=Vector(base=base, stride=stride, length=length), access=access
+    )
+
+
+@pytest.fixture
+def system():
+    return CacheLineSerialSDRAM(SystemParams())
+
+
+class TestFillCost:
+    def test_twenty_cycles_per_fill(self, system):
+        """2 RAS + 2 CAS + 16 burst = 20 cycles (the paper's accounting)."""
+        assert system.fill_cycles == 20
+
+    def test_unit_stride_one_line(self, system):
+        """A 32-word unit-stride command touches exactly one 128-byte line
+        when aligned."""
+        assert system.lines_touched(cmd(0, 1)) == 1
+        assert system.run([cmd(0, 1)]).cycles == 20
+
+    def test_unaligned_unit_stride_two_lines(self, system):
+        assert system.lines_touched(cmd(5, 1)) == 2
+
+    def test_stride_grows_lines_linearly(self, system):
+        """Aligned power-of-two strides touch exactly `stride` lines."""
+        for stride in (1, 2, 4, 8, 16):
+            assert system.lines_touched(cmd(0, stride)) == stride
+
+    def test_prime_stride_lines(self, system):
+        """Stride 19: elements share lines occasionally -> 19 distinct
+        lines per 32-element command."""
+        assert system.lines_touched(cmd(0, 19)) == 19
+
+    def test_stride_beyond_line_caps_at_length(self, system):
+        assert system.lines_touched(cmd(0, 32)) == 32
+        assert system.lines_touched(cmd(0, 100)) == 32
+
+    def test_serial_accumulation(self, system):
+        trace = [cmd(0, 1), cmd(4096, 4)]
+        assert system.run(trace).cycles == 20 * (1 + 4)
+
+    def test_writes_cost_like_reads(self, system):
+        read = system.run([cmd(0, 8)]).cycles
+        write = system.run([cmd(0, 8, access=AccessType.WRITE)]).cycles
+        assert read == write
+
+
+class TestPerElementVariant:
+    def test_per_element_fill_count(self):
+        system = CacheLineSerialSDRAM(SystemParams(), fill_per_element=True)
+        assert system.lines_touched(cmd(0, 19)) == 32
+        assert system.run([cmd(0, 19)]).cycles == 32 * 20
+
+    def test_headline_factor_reconstruction(self):
+        """With per-element accounting, a stride-19 command costs 640
+        cycles — the paper's 32.8x numerator (see experiments.headline)."""
+        system = CacheLineSerialSDRAM(SystemParams(), fill_per_element=True)
+        assert system.run([cmd(0, 19)]).cycles == 640
+
+
+class TestResultFields:
+    def test_counts(self, system):
+        trace = [cmd(0, 1), cmd(4096, 2, access=AccessType.WRITE)]
+        result = system.run(trace)
+        assert result.read_commands == 1
+        assert result.write_commands == 1
+        assert result.elements_read == 32
+        assert result.elements_written == 32
+        assert result.device.activates == 3  # 1 + 2 line fills
+        assert result.bus.data_cycles == 3 * 16

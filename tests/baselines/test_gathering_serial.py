@@ -1,0 +1,54 @@
+"""Tests for the gathering pipelined serial baseline (section 6.1)."""
+
+import pytest
+
+from repro.baselines.gathering_serial import GatheringSerialSDRAM
+from repro.params import SystemParams
+from repro.types import AccessType, Vector, VectorCommand
+
+
+def cmd(base, stride, length=32, access=AccessType.READ):
+    return VectorCommand(
+        vector=Vector(base=base, stride=stride, length=length), access=access
+    )
+
+
+@pytest.fixture
+def system():
+    return GatheringSerialSDRAM(SystemParams())
+
+
+class TestCostModel:
+    def test_per_command_cost(self, system):
+        """t_rp + t_rcd + CL + 32 serial issues + 16 transfer + 1 command
+        = 55 cycles for a full command."""
+        assert system.command_cycles(cmd(0, 1)) == 55
+
+    def test_cost_is_stride_independent(self, system):
+        """The defining property: gathering works element-at-a-time, so
+        stride does not change the cost."""
+        costs = {system.command_cycles(cmd(0, s)) for s in (1, 2, 4, 16, 19)}
+        assert len(costs) == 1
+
+    def test_short_command_cheaper(self, system):
+        assert system.command_cycles(cmd(0, 1, length=8)) == 31
+
+    def test_serial_accumulation(self, system):
+        assert system.run([cmd(0, 1), cmd(64, 19)]).cycles == 110
+
+    def test_element_counts(self, system):
+        result = system.run([cmd(0, 1), cmd(64, 1, access=AccessType.WRITE)])
+        assert result.elements_read == 32
+        assert result.elements_written == 32
+        assert result.device.activates == 2  # one RAS per command
+
+    def test_beats_cacheline_at_large_stride(self):
+        """Cross-baseline shape: gathering wins at stride 16, loses at
+        stride 1 (the paper's figure 7 crossover)."""
+        from repro.baselines.cacheline_serial import CacheLineSerialSDRAM
+
+        params = SystemParams()
+        gather = GatheringSerialSDRAM(params)
+        cache = CacheLineSerialSDRAM(params)
+        assert gather.run([cmd(0, 1)]).cycles > cache.run([cmd(0, 1)]).cycles
+        assert gather.run([cmd(0, 16)]).cycles < cache.run([cmd(0, 16)]).cycles

@@ -1,0 +1,58 @@
+"""Tests for the PVA-SRAM comparison system (section 6.1)."""
+
+from repro.baselines.pva_sram import make_pva_sram
+from repro.params import SRAMTiming, SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.types import AccessType, Vector, VectorCommand
+
+
+def cmd(base, stride, length=32):
+    return VectorCommand(
+        vector=Vector(base=base, stride=stride, length=length),
+        access=AccessType.READ,
+    )
+
+
+class TestPVASRAM:
+    def test_is_a_pva_system(self):
+        system = make_pva_sram()
+        assert isinstance(system, PVAMemorySystem)
+        assert system.name == "pva-sram"
+        assert not system.banks[0].device.has_rows
+
+    def test_no_activates_ever(self):
+        system = make_pva_sram()
+        result = system.run([cmd(2048 * i, 19) for i in range(4)])
+        assert result.device.activates == 0
+        assert result.device.precharges == 0
+
+    def test_never_slower_than_sdram(self):
+        """SRAM removes RAS/CAS/precharge; with identical controllers the
+        SRAM variant is a lower bound for the SDRAM one."""
+        params = SystemParams()
+        for stride in (1, 4, 16, 19):
+            trace = [cmd(2048 * i, stride) for i in range(6)]
+            sdram = PVAMemorySystem(params).run(trace).cycles
+            sram = make_pva_sram(params).run(trace).cycles
+            assert sram <= sdram
+
+    def test_functional_equivalence(self):
+        """Same gather results as the SDRAM system."""
+        params = SystemParams()
+        sram = make_pva_sram(params)
+        sdram = PVAMemorySystem(params)
+        v = Vector(base=3, stride=7, length=32)
+        for a in v.addresses():
+            sram.poke(a, a + 1)
+            sdram.poke(a, a + 1)
+        trace = [VectorCommand(vector=v, access=AccessType.READ)]
+        assert (
+            sram.run(trace, capture_data=True).read_lines
+            == sdram.run(trace, capture_data=True).read_lines
+        )
+
+    def test_custom_access_latency(self):
+        slow = make_pva_sram(sram_timing=SRAMTiming(access_cycles=3))
+        fast = make_pva_sram()
+        trace = [cmd(0, 16)]
+        assert slow.run(trace).cycles >= fast.run(trace).cycles

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import SDRAMTiming, SystemParams
+
+
+@pytest.fixture
+def prototype_params() -> SystemParams:
+    """The paper's prototype configuration (16 banks, 32-word lines)."""
+    return SystemParams()
+
+
+@pytest.fixture
+def small_params() -> SystemParams:
+    """A reduced configuration that keeps cycle-level tests fast while
+    still exercising multi-bank behaviour."""
+    return SystemParams(
+        num_banks=4,
+        cache_line_words=8,
+        sdram=SDRAMTiming(row_words=64),
+    )

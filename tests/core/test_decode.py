@@ -1,0 +1,145 @@
+"""Tests for bank decoding and stride decomposition (section 4.1.1/4.1.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.decode import BankDecoder, decompose_stride
+from repro.errors import ConfigurationError, VectorSpecError
+
+
+class TestBankDecoder:
+    def test_word_interleave_is_modulo(self):
+        d = BankDecoder(num_banks=16, block_words=1)
+        assert [d.bank_of(a) for a in range(20)] == [a % 16 for a in range(20)]
+
+    def test_cacheline_interleave_bit_select(self):
+        """DecodeBank(addr) = (addr >> n) mod M."""
+        d = BankDecoder(num_banks=8, block_words=4)
+        assert d.bank_of(0) == 0
+        assert d.bank_of(3) == 0  # same block
+        assert d.bank_of(4) == 1
+        assert d.bank_of(31) == 7
+        assert d.bank_of(32) == 0  # wraps
+
+    def test_non_power_of_two_banks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BankDecoder(num_banks=6)
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BankDecoder(num_banks=4, block_words=3)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(VectorSpecError):
+            BankDecoder(num_banks=4).bank_of(-1)
+
+    def test_local_word_word_interleave(self):
+        d = BankDecoder(num_banks=16, block_words=1)
+        assert d.local_word(0) == 0
+        assert d.local_word(16) == 1
+        assert d.local_word(5 + 3 * 16) == 3
+
+    def test_local_word_cacheline_interleave(self):
+        d = BankDecoder(num_banks=4, block_words=8)
+        # Bank 0 owns words 0-7, 32-39, ...
+        assert d.local_word(0) == 0
+        assert d.local_word(7) == 7
+        assert d.local_word(32) == 8
+        assert d.local_word(37) == 13
+
+    @given(
+        address=st.integers(0, 10**7),
+        m=st.sampled_from([1, 2, 4, 8, 16, 32]),
+        n=st.sampled_from([1, 2, 4, 8, 32]),
+    )
+    def test_bank_local_roundtrip(self, address, m, n):
+        """(bank, local) uniquely reconstructs the address."""
+        d = BankDecoder(num_banks=m, block_words=n)
+        bank = d.bank_of(address)
+        local = d.local_word(address)
+        block = local // n
+        offset = local % n
+        rebuilt = ((block * m + bank) * n) + offset
+        assert rebuilt == address
+
+    def test_block_offset(self):
+        d = BankDecoder(num_banks=4, block_words=8)
+        assert d.block_offset(13) == 5
+
+
+class TestStrideDecomposition:
+    def test_paper_examples(self):
+        """S = 6 = 3*2^1, S = 7 = 7*2^0, S = 8 = 1*2^3 (section 4.1.4)."""
+        d6 = decompose_stride(6, 16)
+        assert (d6.sigma, d6.s) == (3, 1)
+        d7 = decompose_stride(7, 16)
+        assert (d7.sigma, d7.s) == (7, 0)
+        d8 = decompose_stride(8, 16)
+        assert (d8.sigma, d8.s) == (1, 3)
+
+    def test_stride_multiple_of_banks(self):
+        d = decompose_stride(32, 16)
+        assert d.s == 4  # s == m: single-bank case
+        assert d.delta == 1
+        assert d.banks_hit == 1
+
+    def test_delta_is_next_hit(self):
+        """Theorem 4.4: delta = 2^(m-s)."""
+        assert decompose_stride(1, 16).delta == 16
+        assert decompose_stride(2, 16).delta == 8
+        assert decompose_stride(12, 16).delta == 4  # 12 = 3*2^2
+        assert decompose_stride(19, 16).delta == 16  # odd stride
+
+    def test_banks_hit_parallelism(self):
+        """Available parallelism is M / 2^s (section 6.3.1)."""
+        assert decompose_stride(1, 16).banks_hit == 16
+        assert decompose_stride(4, 16).banks_hit == 4
+        assert decompose_stride(16, 16).banks_hit == 1
+        assert decompose_stride(19, 16).banks_hit == 16
+
+    def test_k1_is_modular_inverse(self):
+        """K1 * sigma === 1 (mod 2^(m-s))."""
+        for stride in range(1, 64):
+            d = decompose_stride(stride, 16)
+            if d.delta > 1:
+                assert (d.k1 * d.sigma) % d.delta == 1
+
+    def test_k1_single_bank_case(self):
+        assert decompose_stride(16, 16).k1 == 0
+
+    def test_power_of_two_detection(self):
+        assert decompose_stride(8, 16).is_power_of_two_stride
+        assert decompose_stride(16, 16).is_power_of_two_stride
+        assert not decompose_stride(6, 16).is_power_of_two_stride
+        assert not decompose_stride(19, 16).is_power_of_two_stride
+
+    def test_invalid_stride(self):
+        with pytest.raises(VectorSpecError):
+            decompose_stride(0, 16)
+        with pytest.raises(VectorSpecError):
+            decompose_stride(-3, 16)
+
+    def test_invalid_banks(self):
+        with pytest.raises(ConfigurationError):
+            decompose_stride(3, 12)
+
+    @given(
+        stride=st.integers(1, 10**6),
+        m_bits=st.integers(0, 6),
+    )
+    def test_decomposition_reconstructs_stride_mod_m(self, stride, m_bits):
+        m = 1 << m_bits
+        d = decompose_stride(stride, m)
+        if stride % m == 0:
+            assert d.s == m_bits and d.sigma == 1
+        else:
+            assert d.sigma % 2 == 1
+            assert d.sigma << d.s == stride % m
+
+    @given(stride=st.integers(1, 1000))
+    def test_lemma_41_only_low_bits_matter(self, stride):
+        """Lemma 4.1: stride and stride mod M decompose identically."""
+        m = 16
+        d1 = decompose_stride(stride, m)
+        d2 = decompose_stride(stride % m if stride % m else m, m)
+        assert (d1.sigma, d1.s, d1.delta) == (d2.sigma, d2.s, d2.delta)

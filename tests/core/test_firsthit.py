@@ -1,0 +1,170 @@
+"""Tests for the word-interleave FirstHit/NextHit theorems (section 4.1.4).
+
+The closed forms are validated exhaustively against brute-force expansion
+on small grids and property-tested with hypothesis on larger ones.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cacheline import first_hit_bruteforce
+from repro.core.firsthit import (
+    NO_HIT,
+    bank_subvector,
+    first_hit,
+    hit_count,
+    next_hit,
+)
+from repro.errors import ConfigurationError
+from repro.types import Vector, expand_reference
+
+BANK_COUNTS = [1, 2, 4, 8, 16, 32]
+
+
+class TestNextHit:
+    def test_theorem_44_values(self):
+        assert next_hit(1, 16) == 16
+        assert next_hit(2, 16) == 8
+        assert next_hit(10, 16) == 8  # 10 = 5*2^1
+        assert next_hit(19, 16) == 16
+
+    def test_single_bank_stride(self):
+        """S mod M == 0: the bank holds every element."""
+        assert next_hit(16, 16) == 1
+        assert next_hit(32, 16) == 1
+
+    @given(
+        stride=st.integers(1, 500),
+        m=st.sampled_from(BANK_COUNTS),
+    )
+    def test_next_hit_revisits_same_bank(self, stride, m):
+        """If a bank holds V[n], it also holds V[n + delta]."""
+        delta = next_hit(stride, m)
+        v = Vector(base=0, stride=stride, length=4 * m + delta + 1)
+        banks = [a % m for a in v.addresses()]
+        for n in range(len(banks) - delta):
+            assert banks[n] == banks[n + delta]
+
+    @given(
+        stride=st.integers(1, 500),
+        m=st.sampled_from([2, 4, 8, 16, 32]),
+    )
+    def test_next_hit_is_minimal(self, stride, m):
+        """No smaller positive increment revisits the bank."""
+        delta = next_hit(stride, m)
+        v = Vector(base=0, stride=stride, length=delta + 1)
+        banks = [a % m for a in v.addresses()]
+        for smaller in range(1, delta):
+            assert banks[0] != banks[smaller]
+
+
+class TestFirstHitExhaustive:
+    @pytest.mark.parametrize("m", [1, 2, 4, 8, 16])
+    def test_matches_bruteforce_small_grid(self, m):
+        """Exhaustive check over bases, strides and banks."""
+        for base in range(0, 2 * m, max(1, m // 4)):
+            for stride in range(1, 2 * m + 2):
+                v = Vector(base=base, stride=stride, length=2 * m + 3)
+                for bank in range(m):
+                    assert first_hit(v, bank, m) == first_hit_bruteforce(
+                        v, bank, m
+                    ), (base, stride, bank, m)
+
+    def test_paper_stride_10_sequence(self):
+        """Section 4.1.4: with M=16, stride 10 hits banks
+        2,12,6,0,10,4,14,8,2,... from base bank 2."""
+        v = Vector(base=2, stride=10, length=9)
+        banks = [a % 16 for a in v.addresses()]
+        assert banks == [2, 12, 6, 0, 10, 4, 14, 8, 2]
+        # Every even bank gets a hit (s=1 -> every 2nd bank), odd banks none.
+        for bank in range(16):
+            hit = first_hit(v, bank, 16)
+            if bank % 2 == 0:
+                assert hit is not NO_HIT
+            else:
+                assert hit is NO_HIT
+
+    def test_base_bank_hits_at_zero(self):
+        """Case 0: the base bank's first hit is always index 0."""
+        for stride in range(1, 40):
+            v = Vector(base=7, stride=stride, length=3)
+            assert first_hit(v, 7 % 16, 16) == 0
+
+    def test_short_vector_misses_distant_banks(self):
+        """K_i >= L means no hit even when lemma 4.2 allows the bank."""
+        v = Vector(base=0, stride=1, length=4)
+        assert first_hit(v, 3, 16) == 3
+        assert first_hit(v, 4, 16) is NO_HIT
+
+    def test_invalid_bank(self):
+        v = Vector(base=0, stride=1, length=4)
+        with pytest.raises(ConfigurationError):
+            first_hit(v, 16, 16)
+        with pytest.raises(ConfigurationError):
+            first_hit(v, -1, 16)
+
+
+@st.composite
+def vectors(draw):
+    return Vector(
+        base=draw(st.integers(0, 4096)),
+        stride=draw(st.integers(1, 256)),
+        length=draw(st.integers(1, 128)),
+    )
+
+
+class TestFirstHitProperties:
+    @given(v=vectors(), m=st.sampled_from(BANK_COUNTS))
+    @settings(max_examples=200)
+    def test_matches_bruteforce(self, v, m):
+        for bank in range(m):
+            assert first_hit(v, bank, m) == first_hit_bruteforce(v, bank, m)
+
+    @given(v=vectors(), m=st.sampled_from(BANK_COUNTS))
+    @settings(max_examples=200)
+    def test_partition_property(self, v, m):
+        """Every element is claimed by exactly one bank, and the union of
+        bank subvectors reproduces the vector exactly."""
+        claimed = {}
+        for bank in range(m):
+            for address in bank_subvector(v, bank, m):
+                assert address not in claimed
+                claimed[address] = bank
+        reference = {e.address: e.address % m for e in expand_reference(v)}
+        assert claimed == reference
+
+    @given(v=vectors(), m=st.sampled_from(BANK_COUNTS))
+    @settings(max_examples=200)
+    def test_hit_count_sums_to_length(self, v, m):
+        assert sum(hit_count(v, bank, m) for bank in range(m)) == v.length
+
+    @given(v=vectors(), m=st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=100)
+    def test_first_hit_is_minimal(self, v, m):
+        """No earlier element of the vector lands on the bank."""
+        for bank in range(m):
+            k = first_hit(v, bank, m)
+            if k is NO_HIT:
+                for e in expand_reference(v):
+                    assert e.address % m != bank
+            else:
+                assert v.element_address(k) % m == bank
+                for i in range(k):
+                    assert v.element_address(i) % m != bank
+
+
+class TestBankSubvector:
+    def test_empty_for_missed_bank(self):
+        v = Vector(base=0, stride=2, length=8)
+        assert bank_subvector(v, 1, 16) == []
+
+    def test_addresses_in_index_order(self):
+        v = Vector(base=0, stride=3, length=32)
+        sub = bank_subvector(v, 0, 16)
+        # delta = 16 for odd stride: indices 0 and 16.
+        assert sub == [0, 48]
+
+    def test_single_bank_stride_gets_everything(self):
+        v = Vector(base=5, stride=16, length=10)
+        sub = bank_subvector(v, 5, 16)
+        assert sub == list(v.addresses())

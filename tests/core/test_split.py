@@ -1,0 +1,140 @@
+"""Tests for SplitVector and the MMC TLB (section 4.3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.split import exact_split_vector, split_vector
+from repro.errors import ConfigurationError, TLBMissError
+from repro.types import Vector
+from repro.vm.tlb import MMCTLB, PageMapping
+
+
+@pytest.fixture
+def identity_tlb():
+    return MMCTLB.identity(total_words=1 << 20, page_words=1 << 10)
+
+
+class TestTLB:
+    def test_identity_lookup(self, identity_tlb):
+        assert identity_tlb.lookup(0) == (0, 1024)
+        assert identity_tlb.lookup(1500) == (1500, 1024)
+
+    def test_miss_raises(self, identity_tlb):
+        with pytest.raises(TLBMissError):
+            identity_tlb.lookup(1 << 20)
+
+    def test_translation(self):
+        tlb = MMCTLB()
+        tlb.map(PageMapping(virtual_base=0, physical_base=4096, page_words=1024))
+        assert tlb.lookup(100) == (4196, 1024)
+
+    def test_overlap_rejected(self):
+        tlb = MMCTLB()
+        tlb.map(PageMapping(virtual_base=0, physical_base=0, page_words=1024))
+        with pytest.raises(ConfigurationError):
+            tlb.map(
+                PageMapping(virtual_base=512, physical_base=8192, page_words=1024)
+            )
+
+    def test_misaligned_page_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageMapping(virtual_base=100, physical_base=0, page_words=1024)
+        with pytest.raises(ConfigurationError):
+            PageMapping(virtual_base=0, physical_base=100, page_words=1024)
+
+    def test_non_power_of_two_page_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageMapping(virtual_base=0, physical_base=0, page_words=1000)
+
+    def test_lookup_counter(self, identity_tlb):
+        identity_tlb.lookup(0)
+        identity_tlb.lookup(1)
+        assert identity_tlb.lookups == 2
+
+    def test_superpages_of_mixed_sizes(self):
+        tlb = MMCTLB()
+        tlb.map(PageMapping(virtual_base=0, physical_base=0, page_words=1 << 12))
+        tlb.map(
+            PageMapping(
+                virtual_base=1 << 12, physical_base=1 << 14, page_words=1 << 10
+            )
+        )
+        assert tlb.lookup(100)[1] == 1 << 12
+        assert tlb.lookup((1 << 12) + 5) == ((1 << 14) + 5, 1 << 10)
+
+
+class TestSplitVector:
+    def test_unit_stride_exact(self, identity_tlb):
+        v = Vector(base=0, stride=1, length=3000)
+        pieces = split_vector(v, identity_tlb)
+        assert [p.length for p in pieces] == [1024, 1024, 952]
+
+    def test_total_length_preserved(self, identity_tlb):
+        v = Vector(base=777, stride=5, length=1000)
+        pieces = split_vector(v, identity_tlb)
+        assert sum(p.length for p in pieces) == 1000
+
+    def test_no_piece_crosses_page(self, identity_tlb):
+        """The invariant the lower bound exists for: every issued
+        sub-vector stays on one super-page."""
+        for stride in (1, 2, 3, 5, 7, 8, 19, 512, 1000):
+            v = Vector(base=123, stride=stride, length=500)
+            for piece in split_vector(v, identity_tlb):
+                first_page = piece.base >> 10
+                last_page = piece.last_address >> 10
+                assert first_page == last_page, (stride, piece)
+
+    def test_addresses_translated(self):
+        tlb = MMCTLB()
+        tlb.map(PageMapping(virtual_base=0, physical_base=1 << 14, page_words=1024))
+        tlb.map(
+            PageMapping(
+                virtual_base=1024, physical_base=1 << 15, page_words=1024
+            )
+        )
+        v = Vector(base=1020, stride=8, length=4)
+        pieces = split_vector(v, tlb)
+        # element 0 at virtual 1020 (page 0), elements 1.. at virtual 1028+
+        assert pieces[0].base == (1 << 14) + 1020
+        assert pieces[1].base == (1 << 15) + 4
+
+    def test_fast_split_never_fewer_pieces_than_exact(self, identity_tlb):
+        """The lower-bound split may be more conservative (more pieces)
+        but never illegally aggressive."""
+        for stride in (1, 3, 6, 19, 31):
+            v = Vector(base=40, stride=stride, length=700)
+            fast = split_vector(v, identity_tlb)
+            exact = exact_split_vector(v, identity_tlb)
+            assert len(fast) >= len(exact)
+            assert sum(p.length for p in fast) == sum(
+                p.length for p in exact
+            )
+
+    def test_exact_split_is_minimal(self, identity_tlb):
+        v = Vector(base=0, stride=3, length=1000)
+        exact = exact_split_vector(v, identity_tlb)
+        # Each piece must completely fill its page's remaining capacity.
+        for piece in exact[:-1]:
+            next_address = piece.last_address + piece.stride
+            assert next_address >> 10 != piece.base >> 10
+
+    @given(
+        base=st.integers(0, 4000),
+        stride=st.integers(1, 600),
+        length=st.integers(1, 400),
+    )
+    @settings(max_examples=150)
+    def test_split_invariants(self, base, stride, length):
+        tlb = MMCTLB.identity(total_words=1 << 20, page_words=1 << 10)
+        v = Vector(base=base, stride=stride, length=length)
+        pieces = split_vector(v, tlb)
+        assert sum(p.length for p in pieces) == length
+        # Pieces reproduce the translated element sequence.
+        translated = []
+        for piece in pieces:
+            translated.extend(piece.addresses())
+        expected = [tlb.lookup(a)[0] for a in v.addresses()]
+        assert translated == expected
+        # And stay on their pages.
+        for piece in pieces:
+            assert piece.base >> 10 == piece.last_address >> 10

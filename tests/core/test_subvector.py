@@ -1,0 +1,89 @@
+"""Tests for per-bank subvector descriptors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.subvector import SubVector, subvectors_by_bank
+from repro.types import Vector, expand_reference
+
+
+@st.composite
+def vectors(draw):
+    return Vector(
+        base=draw(st.integers(0, 2048)),
+        stride=draw(st.integers(1, 128)),
+        length=draw(st.integers(1, 96)),
+    )
+
+
+class TestSubvectorsByBank:
+    @given(v=vectors(), m=st.sampled_from([1, 2, 4, 8, 16, 32]))
+    @settings(max_examples=200)
+    def test_partition_of_indices(self, v, m):
+        """Every vector index appears in exactly one bank's subvector."""
+        subs = subvectors_by_bank(v, m)
+        seen = {}
+        for bank, sub in subs.items():
+            for index in sub.indices():
+                assert index not in seen
+                seen[index] = bank
+        assert sorted(seen) == list(range(v.length))
+
+    @given(v=vectors(), m=st.sampled_from([1, 2, 4, 8, 16, 32]))
+    @settings(max_examples=200)
+    def test_addresses_match_reference(self, v, m):
+        subs = subvectors_by_bank(v, m)
+        reference = {e.index: e.address for e in expand_reference(v)}
+        for sub in subs.values():
+            for index, address in zip(sub.indices(), sub.addresses()):
+                assert address == reference[index]
+                assert address % m == sub.bank
+
+    @given(v=vectors(), m=st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=100)
+    def test_counts_sum_to_length(self, v, m):
+        subs = subvectors_by_bank(v, m)
+        assert sum(s.count for s in subs.values()) == v.length
+
+    def test_every_bank_represented(self):
+        v = Vector(base=0, stride=2, length=4)
+        subs = subvectors_by_bank(v, 16)
+        assert set(subs) == set(range(16))
+        assert subs[1].is_empty
+        assert not subs[0].is_empty
+
+
+class TestSubVectorFields:
+    def test_address_step_is_stride_times_delta(self):
+        v = Vector(base=0, stride=6, length=32)  # 6 = 3*2^1, delta = 8
+        subs = subvectors_by_bank(v, 16)
+        for sub in subs.values():
+            assert sub.delta == 8
+            assert sub.address_step == 48
+
+    def test_address_step_multiple_of_banks(self):
+        """The local-address step (address_step / M) must be integral —
+        the property the bank controller's shift-and-add relies on."""
+        for stride in range(1, 40):
+            v = Vector(base=0, stride=stride, length=64)
+            for sub in subvectors_by_bank(v, 16).values():
+                assert sub.address_step % 16 == 0
+
+    def test_last_index(self):
+        v = Vector(base=0, stride=1, length=32)
+        sub = subvectors_by_bank(v, 16)[3]
+        assert sub.first_index == 3
+        assert sub.count == 2
+        assert sub.last_index == 19
+
+    def test_last_index_empty_raises(self):
+        sub = SubVector(
+            bank=0,
+            first_index=0,
+            delta=1,
+            count=0,
+            first_address=0,
+            address_step=16,
+        )
+        with pytest.raises(ValueError):
+            _ = sub.last_index

@@ -1,0 +1,100 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_bank_scaling,
+    ablate_bypass_paths,
+    ablate_row_policy,
+    ablate_vector_contexts,
+)
+
+
+class TestRowPolicyAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        rows, text = ablate_row_policy(
+            kernels=("scale",), strides=(1, 16), elements=128
+        )
+        return rows
+
+    def test_all_policies_complete(self, rows):
+        for row in rows:
+            assert all(cycles > 0 for cycles in row[2:])
+
+    def test_paper_policy_not_worse_than_close_at_unit_stride(self, rows):
+        by_key = {(r[0], r[1]): r for r in rows}
+        kernel, stride, paper, close, open_, history = by_key[("scale", 1)]
+        assert paper <= close * 1.05
+
+
+class TestVectorContextAblation:
+    def test_more_contexts_never_hurt_much(self):
+        rows, _ = ablate_vector_contexts(
+            kernel="scale", strides=(16,), context_counts=(1, 4), elements=128
+        )
+        (kernel, stride, one_vc, four_vc), = rows
+        assert four_vc <= one_vc * 1.05
+
+    def test_row_format(self):
+        rows, text = ablate_vector_contexts(
+            kernel="copy", strides=(1,), context_counts=(1, 2), elements=64
+        )
+        assert len(rows) == 1
+        assert "1 VC" in text
+
+
+class TestBypassAblation:
+    def test_bypass_saves_latency_on_idle_unit(self):
+        rows, _ = ablate_bypass_paths(strides=(1, 7))
+        for stride, with_bypass, without, saved in rows:
+            assert saved >= 1
+
+    def test_non_power_of_two_exercises_fhc_path(self):
+        rows, _ = ablate_bypass_paths(strides=(1, 7))
+        by_stride = {r[0]: r for r in rows}
+        # The odd stride pays the FHC multiply-add either way.
+        assert by_stride[7][1] >= by_stride[1][1]
+
+
+class TestSubcommandLatencyAblation:
+    def test_pipelined_hides_latency(self):
+        from repro.experiments.ablations import ablate_subcommand_latency
+
+        rows, text = ablate_subcommand_latency(
+            kernel="copy", strides=(19,), latencies=(2, 13), elements=128
+        )
+        by_key = {(r[0], r[1]): r[2:] for r in rows}
+        fast, slow = by_key[(19, "pipelined")]
+        assert slow <= fast * 1.1
+        s_fast, s_slow = by_key[(19, "single request")]
+        assert s_slow > s_fast
+        assert "fhc=13" in text
+
+
+class TestRefreshAblation:
+    def test_monotone_tax(self):
+        from repro.experiments.ablations import ablate_refresh
+
+        rows, text = ablate_refresh(
+            kernel="scale", stride=16, intervals=(0, 400, 100), elements=128
+        )
+        cycles = [r[1] for r in rows]
+        assert cycles == sorted(cycles)
+        assert rows[0][0] == "off"
+        assert "overhead" in text
+
+
+class TestBankScalingAblation:
+    def test_more_banks_faster_at_prime_stride(self):
+        rows, _ = ablate_bank_scaling(
+            kernel="copy", stride=19, banks=(4, 16), elements=128
+        )
+        by_banks = {r[0]: r for r in rows}
+        assert by_banks[16][1] <= by_banks[4][1]
+
+    def test_pla_columns_present(self):
+        rows, _ = ablate_bank_scaling(banks=(4, 8), elements=64)
+        for banks, cycles, k1_terms, ki_terms in rows:
+            assert k1_terms == banks
+            assert ki_terms > k1_terms

@@ -1,0 +1,53 @@
+"""Tests for the alignment-sensitivity study."""
+
+import pytest
+
+from repro.experiments.alignment import alignment_spread, alignment_study
+from repro.experiments.grid import run_grid
+from repro.kernels import ALIGNMENTS
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_grid(
+        kernels=("copy", "scale"),
+        strides=(1, 16),
+        alignments=ALIGNMENTS,
+        elements=128,
+        systems=("pva-sdram",),
+    )
+
+
+class TestSpread:
+    def test_spread_at_least_one(self, grid):
+        spread, best, worst = alignment_spread(grid, "copy", 16)
+        assert spread >= 1.0
+        assert best in grid.alignments
+        assert worst in grid.alignments
+
+    def test_unit_stride_no_spread(self, grid):
+        spread, _, _ = alignment_spread(grid, "copy", 1)
+        assert spread == pytest.approx(1.0)
+
+    def test_multi_array_single_bank_stride_spreads(self, grid):
+        spread, best, _ = alignment_spread(grid, "copy", 16)
+        assert spread > 1.3
+        assert best == "bank+1"  # staggering arrays doubles the banks
+
+    def test_single_array_kernel_is_alignment_proof(self, grid):
+        spread, _, _ = alignment_spread(grid, "scale", 16)
+        assert spread == pytest.approx(1.0)
+
+
+class TestStudy:
+    def test_rows_and_text(self, grid):
+        rows, text = alignment_study(grid=grid)
+        assert len(rows) == len(grid.kernels) * len(grid.strides)
+        assert "banks hit" in text
+        assert "best alignment" in text
+
+    def test_parallelism_column(self, grid):
+        rows, _ = alignment_study(grid=grid)
+        by_point = {(r[0], r[1]): r for r in rows}
+        assert by_point[("copy", 1)][2] == 16
+        assert by_point[("copy", 16)][2] == 1

@@ -1,0 +1,48 @@
+"""Tests for the hardware-complexity accounting (Table 1)."""
+
+from repro.experiments.complexity import (
+    PAPER_TABLE1,
+    complexity_table,
+    estimate_bank_controller,
+)
+from repro.params import SystemParams
+
+
+class TestPaperTable1:
+    def test_verbatim_counts(self):
+        assert PAPER_TABLE1["NAND2"] == 5488
+        assert PAPER_TABLE1["D Flip-flop"] == 1039
+        assert PAPER_TABLE1["On-chip RAM"] == "2K bytes"
+
+
+class TestEstimate:
+    def test_staging_ram_matches_paper(self):
+        """8 transactions x 128-byte line x read+write = the paper's 2 KB
+        of on-chip RAM."""
+        estimate = estimate_bank_controller(SystemParams())
+        assert estimate.staging_ram_bytes == 2048
+
+    def test_pla_terms(self):
+        estimate = estimate_bank_controller(SystemParams())
+        assert estimate.k1_pla_terms == 16
+        assert estimate.full_ki_pla_terms > estimate.k1_pla_terms
+
+    def test_flip_flop_estimate_same_order_as_paper(self):
+        """The architectural DFF estimate lands in the same order of
+        magnitude as the synthesis count (1039)."""
+        estimate = estimate_bank_controller(SystemParams())
+        assert 200 <= estimate.flip_flop_estimate <= 5000
+
+    def test_scales_with_banks(self):
+        small = estimate_bank_controller(SystemParams(num_banks=4))
+        large = estimate_bank_controller(SystemParams(num_banks=16))
+        assert large.full_ki_pla_terms > small.full_ki_pla_terms
+
+
+class TestRendering:
+    def test_table_text(self):
+        text = complexity_table(SystemParams())
+        assert "Paper Table 1" in text
+        assert "staging RAM bytes" in text
+        assert "2048" in text
+        assert "FirstHit PLA scaling" in text

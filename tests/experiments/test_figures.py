@@ -1,0 +1,78 @@
+"""Tests for the figure generators."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+from repro.experiments.grid import run_grid
+from repro.kernels import ALIGNMENTS
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_grid(
+        kernels=("copy", "scale", "vaxpy", "swap"),
+        strides=(1, 4, 16, 19),
+        alignments=ALIGNMENTS[:3],
+        elements=128,
+    )
+
+
+class TestStridePanels:
+    def test_figure7_rows(self, grid):
+        fig = figure7(grid)
+        kernels = {row[0] for row in fig.rows}
+        assert kernels == {"copy", "scale"}  # intersection with grid
+        strides = {row[1] for row in fig.rows}
+        assert strides == {1, 4, 16, 19}
+
+    def test_figure8_rows(self, grid):
+        fig = figure8(grid)
+        assert {row[0] for row in fig.rows} == {"vaxpy", "swap"}
+
+    def test_min_le_max(self, grid):
+        for fig in (figure7(grid), figure8(grid)):
+            for row in fig.rows:
+                assert row[2] <= row[3]  # pva-sdram min <= max
+                assert row[4] <= row[5]  # pva-sram min <= max
+
+    def test_text_renders(self, grid):
+        text = figure7(grid).text
+        assert "pva-sdram(min)" in text
+        assert "copy" in text
+
+
+class TestFixedStridePanels:
+    def test_figure9_strides(self, grid):
+        fig = figure9(grid)
+        assert {row[0] for row in fig.rows} == {1, 4}
+
+    def test_figure10_strides(self, grid):
+        fig = figure10(grid)
+        assert {row[0] for row in fig.rows} == {16, 19}
+
+    def test_normalization_annotations(self, grid):
+        fig = figure9(grid)
+        for row in fig.rows:
+            assert row[6].endswith("%")
+
+
+class TestFigure11:
+    def test_rows_cover_stride_by_alignment(self, grid):
+        fig = figure11(grid, kernel="vaxpy")
+        assert len(fig.rows) == 4 * 3  # strides x alignments
+
+    def test_leftmost_bar_is_100_percent(self, grid):
+        fig = figure11(grid, kernel="vaxpy")
+        assert fig.rows[0][4] == "100%"
+
+    def test_sram_ratio_column(self, grid):
+        fig = figure11(grid, kernel="vaxpy")
+        for row in fig.rows:
+            ratio = int(row[5].rstrip("%"))
+            assert ratio <= 100  # SRAM never slower than SDRAM

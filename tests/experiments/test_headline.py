@@ -1,0 +1,44 @@
+"""Tests for the headline-ratio extraction."""
+
+import pytest
+
+from repro.experiments.grid import run_grid
+from repro.experiments.headline import headline_ratios
+from repro.kernels import ALIGNMENTS
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_grid(
+        kernels=("copy", "scale"),
+        strides=(1, 16, 19),
+        alignments=ALIGNMENTS[:2],
+        elements=256,
+    )
+
+
+class TestHeadline:
+    def test_max_speedup_found_at_prime_stride(self, grid):
+        ratios = headline_ratios(grid)
+        assert ratios.max_speedup_vs_cacheline_at[1] == 19
+        assert ratios.max_speedup_vs_cacheline > 10
+
+    def test_gathering_speedup_order_of_three(self, grid):
+        ratios = headline_ratios(grid)
+        assert 1.5 < ratios.max_speedup_vs_gathering < 5
+
+    def test_unit_stride_band_near_parity(self, grid):
+        lo, hi = headline_ratios(grid).unit_stride_band
+        assert 0.9 < lo <= hi < 1.25
+
+    def test_worst_sram_gap_within_paper_bound(self, grid):
+        assert headline_ratios(grid).worst_sram_gap <= 0.15
+
+    def test_summary_keys(self, grid):
+        summary = headline_ratios(grid).summary()
+        assert {
+            "max_speedup_vs_cacheline",
+            "max_speedup_vs_gathering",
+            "unit_stride_band_pct",
+            "worst_sram_gap_pct",
+        } <= set(summary)

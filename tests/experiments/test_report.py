@@ -1,0 +1,37 @@
+"""Tests for the plain-text report helpers."""
+
+from repro.experiments.report import format_percent, format_table
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(1.0) == "100%"
+        assert format_percent(0.5) == "50%"
+        assert format_percent(32.78) == "3278%"
+
+    def test_rounds(self):
+        assert format_percent(1.064) == "106%"
+        assert format_percent(1.066) == "107%"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ("name", "value"), [("a", 1), ("longer", 123456)]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        # Columns line up: 'value' header over the numbers.
+        header_col = lines[0].index("value")
+        assert lines[2][header_col] == "1" or lines[2][header_col] == " "
+
+    def test_stringifies_everything(self):
+        text = format_table(("a",), [(None,), (3.5,)])
+        assert "None" in text
+        assert "3.5" in text
+
+    def test_empty_rows(self):
+        text = format_table(("x", "y"), [])
+        assert "x" in text
+        assert len(text.splitlines()) == 2

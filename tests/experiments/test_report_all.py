@@ -1,0 +1,37 @@
+"""Tests for the one-shot artifact generator."""
+
+from repro.experiments.report_all import generate_all
+
+
+class TestGenerateAll:
+    def test_writes_every_artifact(self, tmp_path):
+        messages = []
+        written = generate_all(
+            out_dir=tmp_path, elements=64, progress=messages.append
+        )
+        assert len(written) >= 12
+        expected = {
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "table1",
+            "headline",
+            "ablation_row_policy",
+            "ablation_vector_contexts",
+            "ablation_bypass",
+            "ablation_bank_scaling",
+            "alignment_study",
+        }
+        assert expected <= set(written)
+        for path in written.values():
+            assert path.exists()
+            assert path.read_text().strip()
+        assert len(messages) == len(written)
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "artifacts"
+        generate_all(out_dir=target, elements=64)
+        assert target.is_dir()
+        assert (target / "figure7.txt").exists()

@@ -1,0 +1,90 @@
+"""Tests for bit-reversed application vectors (chapter 7)."""
+
+import pytest
+
+from repro.errors import VectorSpecError
+from repro.extensions.bitreversal import (
+    bit_reversal_addresses,
+    bit_reversal_gather,
+    bit_reverse,
+)
+from repro.params import SystemParams
+from repro.pva.system import PVAMemorySystem
+
+
+class TestBitReverse:
+    def test_known_values(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+        assert bit_reverse(0, 4) == 0
+        assert bit_reverse(0b1111, 4) == 0b1111
+
+    def test_is_involution(self):
+        for bits in (1, 3, 5, 8):
+            for value in range(1 << bits):
+                assert bit_reverse(bit_reverse(value, bits), bits) == value
+
+    def test_is_permutation(self):
+        bits = 6
+        image = {bit_reverse(v, bits) for v in range(1 << bits)}
+        assert image == set(range(1 << bits))
+
+    def test_value_too_large(self):
+        with pytest.raises(VectorSpecError):
+            bit_reverse(8, 3)
+
+    def test_negative_bits(self):
+        with pytest.raises(VectorSpecError):
+            bit_reverse(0, -1)
+
+
+class TestAddresses:
+    def test_fft_reorder_pattern(self):
+        # 8-point FFT: 0,4,2,6,1,5,3,7
+        assert bit_reversal_addresses(0, 3) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_base_offset(self):
+        assert bit_reversal_addresses(100, 2) == [100, 102, 101, 103]
+
+    def test_windowed_chunk(self):
+        full = bit_reversal_addresses(0, 5)
+        chunk = bit_reversal_addresses(0, 5, start=8, count=8)
+        assert chunk == full[8:16]
+
+    def test_range_validation(self):
+        with pytest.raises(VectorSpecError):
+            bit_reversal_addresses(0, 3, start=4, count=8)
+
+
+class TestGatherCommand:
+    def test_functional_reorder(self):
+        system = PVAMemorySystem(SystemParams())
+        bits = 10
+        base = 0
+        for i in range(1 << bits):
+            system.poke(base + i, 3000 + i)
+        command = bit_reversal_gather(base, bits, start=32, count=32)
+        result = system.run([command], capture_data=True)
+        expected = tuple(
+            3000 + bit_reverse(i, bits) for i in range(32, 64)
+        )
+        assert result.read_lines[0] == expected
+
+    def test_whole_fft_permutation_in_chunks(self):
+        """Gather a full 256-point reorder as 8 line-sized commands; the
+        concatenated result is the bit-reversed permutation."""
+        system = PVAMemorySystem(SystemParams())
+        bits = 8
+        for i in range(1 << bits):
+            system.poke(i, i)
+        trace = [
+            bit_reversal_gather(0, bits, start=s, count=32)
+            for s in range(0, 256, 32)
+        ]
+        result = system.run(trace, capture_data=True)
+        flattened = [v for line in result.read_lines for v in line]
+        assert flattened == [bit_reverse(i, bits) for i in range(256)]
+
+    def test_sequential_expansion_cost(self):
+        cmd = bit_reversal_gather(0, 10, count=32)
+        assert cmd.broadcast_cycles == 17

@@ -1,0 +1,101 @@
+"""Tests for vector-indirect scatter/gather (chapter 7)."""
+
+import random
+
+import pytest
+
+from repro.errors import VectorSpecError
+from repro.extensions.indirect import (
+    indirect_gather,
+    indirect_scatter,
+    load_indirection_vector,
+)
+from repro.params import SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.types import AccessType
+
+
+class TestCommandConstruction:
+    def test_load_is_unit_stride(self):
+        cmd = load_indirection_vector(base=128, length=32)
+        assert cmd.vector.stride == 1
+        assert cmd.vector.length == 32
+        assert cmd.access is AccessType.READ
+
+    def test_broadcast_cost_two_per_cycle(self):
+        """32 addresses at two per cycle: 1 command + 16 snoop cycles."""
+        assert indirect_gather(range(32)).broadcast_cycles == 17
+        assert indirect_gather(range(31)).broadcast_cycles == 17
+        assert indirect_gather(range(2)).broadcast_cycles == 2
+        assert indirect_gather([5]).broadcast_cycles == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(VectorSpecError):
+            indirect_gather([])
+        with pytest.raises(VectorSpecError):
+            indirect_scatter([])
+
+    def test_scatter_carries_data(self):
+        cmd = indirect_scatter([1, 2], data=[10, 20])
+        assert cmd.data == (10, 20)
+        assert cmd.access is AccessType.WRITE
+
+
+class TestFunctional:
+    def test_sparse_gather(self):
+        system = PVAMemorySystem(SystemParams())
+        rng = random.Random(42)
+        addresses = rng.sample(range(1 << 14), 32)
+        for a in addresses:
+            system.poke(a, a ^ 0x5A5A)
+        result = system.run([indirect_gather(addresses)], capture_data=True)
+        assert result.read_lines[0] == tuple(a ^ 0x5A5A for a in addresses)
+
+    def test_sparse_scatter(self):
+        system = PVAMemorySystem(SystemParams())
+        rng = random.Random(43)
+        addresses = rng.sample(range(1 << 14), 32)
+        data = tuple(rng.randrange(1 << 30) for _ in range(32))
+        system.run([indirect_scatter(addresses, data)])
+        assert [system.peek(a) for a in addresses] == list(data)
+
+    def test_duplicate_addresses_allowed_in_gather(self):
+        system = PVAMemorySystem(SystemParams())
+        system.poke(100, 9)
+        result = system.run(
+            [indirect_gather([100, 100, 100])], capture_data=True
+        )
+        assert result.read_lines[0] == (9, 9, 9)
+
+    def test_two_phase_sequence(self):
+        """Phase (i) loads the indirection vector; phase (ii) gathers
+        through it — sparse-matrix style."""
+        system = PVAMemorySystem(SystemParams())
+        index_base = 1 << 14  # keep the index array clear of the targets
+        indices = [7 + 13 * i for i in range(32)]
+        for slot, target in enumerate(indices):
+            system.poke(index_base + slot, target)
+            system.poke(target, target * 11)
+        phase1 = system.run(
+            [load_indirection_vector(index_base, 32)], capture_data=True
+        )
+        loaded = phase1.read_lines[0]
+        assert list(loaded) == indices
+        phase2 = system.run([indirect_gather(loaded)], capture_data=True)
+        assert phase2.read_lines[0] == tuple(t * 11 for t in indices)
+
+    def test_gather_slower_than_dense_read(self):
+        """The indirection broadcast costs bus cycles a base-stride
+        command does not."""
+        from repro.types import Vector, VectorCommand
+
+        system_a = PVAMemorySystem(SystemParams())
+        dense = VectorCommand(
+            vector=Vector(base=0, stride=1, length=32),
+            access=AccessType.READ,
+        )
+        system_b = PVAMemorySystem(SystemParams())
+        sparse = indirect_gather(list(range(32)))
+        assert (
+            system_b.run([sparse]).cycles > system_a.run([dense]).cycles
+        )

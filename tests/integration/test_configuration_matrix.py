@@ -1,0 +1,90 @@
+"""Configuration-matrix integration tests: the PVA system must stay
+functionally correct and respect its analytic lower bounds across the
+whole geometry space — bank counts, line sizes, internal banks, row
+sizes, timing variants and row policies."""
+
+import pytest
+
+from repro.analysis.model import pva_lower_bound
+from repro.params import SDRAMTiming, SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.types import AccessType, Vector, VectorCommand
+
+
+def make_params(num_banks=16, line=32, internal_banks=4, rows=512, **kw):
+    return SystemParams(
+        num_banks=num_banks,
+        cache_line_words=line,
+        sdram=SDRAMTiming(internal_banks=internal_banks, row_words=rows),
+        **kw,
+    )
+
+
+def checked_run(params, strides=(1, 3, 7)):
+    """Run a read+write mix per stride; verify data and bounds."""
+    system = PVAMemorySystem(params)
+    line = params.cache_line_words
+    trace = []
+    expected_lines = []
+    for i, stride in enumerate(strides):
+        base = 1 + i * line * max(strides) + i
+        vector = Vector(base=base, stride=stride, length=line)
+        data = tuple(10_000 * (i + 1) + j for j in range(line))
+        trace.append(
+            VectorCommand(vector=vector, access=AccessType.WRITE, data=data)
+        )
+        trace.append(VectorCommand(vector=vector, access=AccessType.READ))
+        expected_lines.append(data)
+    result = system.run(trace, capture_data=True)
+    assert result.read_lines == expected_lines
+    assert result.cycles >= pva_lower_bound(trace, params)
+    return result
+
+
+class TestGeometryMatrix:
+    @pytest.mark.parametrize("num_banks", [1, 2, 4, 8, 16, 32, 64])
+    def test_bank_counts(self, num_banks):
+        checked_run(make_params(num_banks=num_banks))
+
+    @pytest.mark.parametrize("line", [4, 8, 16, 32, 64])
+    def test_line_sizes(self, line):
+        checked_run(make_params(line=line))
+
+    @pytest.mark.parametrize("internal_banks", [1, 2, 4, 8])
+    def test_internal_banks(self, internal_banks):
+        checked_run(make_params(internal_banks=internal_banks))
+
+    @pytest.mark.parametrize("rows", [16, 64, 512, 2048])
+    def test_row_sizes(self, rows):
+        checked_run(make_params(rows=rows))
+
+    @pytest.mark.parametrize("policy", ["paper", "close", "open", "history"])
+    def test_row_policies(self, policy):
+        checked_run(make_params(row_policy=policy))
+
+    @pytest.mark.parametrize("contexts", [1, 2, 8])
+    def test_vector_context_counts(self, contexts):
+        checked_run(make_params(num_vector_contexts=contexts))
+
+    def test_no_bypass(self):
+        checked_run(make_params(bypass_paths=False))
+
+    def test_single_transaction(self):
+        checked_run(make_params(max_transactions=1, request_fifo_depth=1))
+
+    def test_slow_timing(self):
+        params = SystemParams(
+            sdram=SDRAMTiming(
+                t_rcd=5, cas_latency=4, t_rp=5, t_wr=3, row_words=256
+            )
+        )
+        checked_run(params)
+
+    def test_more_banks_than_line_words(self):
+        """64 banks, 16-word commands: most banks idle per command."""
+        checked_run(make_params(num_banks=64, line=16))
+
+    def test_single_bank_system(self):
+        """M=1 degenerates to a serial controller; still correct."""
+        result = checked_run(make_params(num_banks=1, line=8))
+        assert result.device.reads > 0

@@ -1,0 +1,106 @@
+"""Combined geometry + trace fuzzing: for random small memory geometries
+and random command streams, the PVA system must match the program-order
+reference interpreter and respect the analytic lower bound."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.model import pva_lower_bound
+from repro.params import SDRAMTiming, SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.types import AccessType, ExplicitCommand, Vector, VectorCommand
+
+ADDRESS_SPACE = 1 << 11
+
+
+@st.composite
+def geometries(draw):
+    num_banks = draw(st.sampled_from([1, 2, 4, 8, 16]))
+    line = draw(st.sampled_from([4, 8, 16]))
+    internal_banks = draw(st.sampled_from([1, 2, 4]))
+    row_words = draw(st.sampled_from([16, 64, 256]))
+    t_rcd = draw(st.integers(1, 4))
+    cas = draw(st.integers(1, 4))
+    t_rp = draw(st.integers(1, 4))
+    policy = draw(st.sampled_from(["paper", "close", "open", "history"]))
+    contexts = draw(st.sampled_from([1, 2, 4]))
+    return SystemParams(
+        num_banks=num_banks,
+        cache_line_words=line,
+        num_vector_contexts=contexts,
+        row_policy=policy,
+        sdram=SDRAMTiming(
+            t_rcd=t_rcd,
+            cas_latency=cas,
+            t_rp=t_rp,
+            internal_banks=internal_banks,
+            row_words=row_words,
+        ),
+    )
+
+
+@st.composite
+def command_for(draw, params):
+    length = draw(st.integers(1, params.cache_line_words))
+    if draw(st.booleans()):
+        addresses = tuple(
+            draw(st.integers(0, ADDRESS_SPACE - 1)) for _ in range(length)
+        )
+        access = draw(st.sampled_from([AccessType.READ, AccessType.WRITE]))
+        data = (
+            tuple(draw(st.integers(0, 999)) for _ in range(length))
+            if access is AccessType.WRITE
+            else None
+        )
+        return ExplicitCommand(
+            addresses=addresses,
+            access=access,
+            broadcast_cycles=1 + (length + 1) // 2,
+            data=data,
+        )
+    stride = draw(st.integers(1, 24))
+    base = draw(st.integers(0, ADDRESS_SPACE - length * stride - 1))
+    access = draw(st.sampled_from([AccessType.READ, AccessType.WRITE]))
+    data = (
+        tuple(draw(st.integers(0, 999)) for _ in range(length))
+        if access is AccessType.WRITE
+        else None
+    )
+    return VectorCommand(
+        vector=Vector(base=base, stride=stride, length=length),
+        access=access,
+        data=data,
+    )
+
+
+def reference_execute(trace, initial):
+    memory = dict(initial)
+    read_lines = []
+    for command in trace:
+        addresses = (
+            list(command.addresses)
+            if isinstance(command, ExplicitCommand)
+            else list(command.vector.addresses())
+        )
+        if command.access is AccessType.READ:
+            read_lines.append(tuple(memory.get(a, 0) for a in addresses))
+        else:
+            data = command.data or tuple(range(len(addresses)))
+            for address, value in zip(addresses, data):
+                memory[address] = value
+    return read_lines
+
+
+@given(params=geometries(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_random_geometry_random_trace(params, data):
+    trace = [
+        data.draw(command_for(params))
+        for _ in range(data.draw(st.integers(1, 8)))
+    ]
+    initial = {a: a * 5 + 1 for a in range(0, ADDRESS_SPACE, 17)}
+    system = PVAMemorySystem(params)
+    for address, value in initial.items():
+        system.poke(address, value)
+    result = system.run(trace, capture_data=True)
+    assert result.read_lines == reference_execute(trace, initial)
+    assert result.cycles >= pva_lower_bound(trace, params)

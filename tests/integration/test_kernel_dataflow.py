@@ -1,0 +1,153 @@
+"""Full kernel dataflow: execute the Table 2 loops *with real data*
+through the PVA unit — gather operands, compute in the "CPU", scatter
+results — and compare the final memory image against a pure-Python
+execution of the reference loop.
+
+This is the functional-simulation direction the paper leaves as future
+work, at kernel scale: it exercises gathers, computation-carried writes
+and loop-carried dependencies (tridiag) end to end.
+"""
+
+import pytest
+
+from repro.kernels import kernel_by_name
+from repro.kernels.traces import ALIGNMENTS, array_bases
+from repro.params import SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.types import AccessType, Vector, VectorCommand
+
+PARAMS = SystemParams()
+ELEMENTS = 128
+A_SCALAR = 3
+
+
+def gather(system, base, stride, length):
+    """Read a strided vector through the PVA; returns its values."""
+    values = []
+    vector = Vector(base=base, stride=stride, length=length)
+    for piece in vector.split(PARAMS.cache_line_words):
+        result = system.run(
+            [VectorCommand(vector=piece, access=AccessType.READ)],
+            capture_data=True,
+        )
+        values.extend(result.read_lines[0])
+    return values
+
+
+def scatter(system, base, stride, values):
+    """Write values to a strided vector through the PVA."""
+    vector = Vector(base=base, stride=stride, length=len(values))
+    offset = 0
+    for piece in vector.split(PARAMS.cache_line_words):
+        data = tuple(values[offset : offset + piece.length])
+        system.run(
+            [VectorCommand(vector=piece, access=AccessType.WRITE, data=data)]
+        )
+        offset += piece.length
+
+
+def setup_arrays(kernel_name, stride):
+    kernel = kernel_by_name(kernel_name)
+    bases = array_bases(kernel, stride, ELEMENTS, PARAMS, ALIGNMENTS[0])
+    system = PVAMemorySystem(PARAMS)
+    reference = {}
+    for slot, name in enumerate(kernel.arrays):
+        values = [
+            (slot + 1) * 10_000 + 7 * i + 1 for i in range(ELEMENTS)
+        ]
+        reference[name] = list(values)
+        for i, value in enumerate(values):
+            system.poke(bases[name] + i * stride, value)
+    return system, bases, reference
+
+
+def read_back(system, base, stride):
+    return [system.peek(base + i * stride) for i in range(ELEMENTS)]
+
+
+@pytest.mark.parametrize("stride", [1, 16, 19])
+class TestKernelDataflow:
+    def test_copy(self, stride):
+        system, bases, ref = setup_arrays("copy", stride)
+        x = gather(system, bases["x"], stride, ELEMENTS)
+        scatter(system, bases["y"], stride, x)
+        assert read_back(system, bases["y"], stride) == ref["x"]
+
+    def test_scale(self, stride):
+        system, bases, ref = setup_arrays("scale", stride)
+        x = gather(system, bases["x"], stride, ELEMENTS)
+        scatter(system, bases["x"], stride, [A_SCALAR * v for v in x])
+        assert read_back(system, bases["x"], stride) == [
+            A_SCALAR * v for v in ref["x"]
+        ]
+
+    def test_saxpy(self, stride):
+        system, bases, ref = setup_arrays("saxpy", stride)
+        x = gather(system, bases["x"], stride, ELEMENTS)
+        y = gather(system, bases["y"], stride, ELEMENTS)
+        scatter(
+            system,
+            bases["y"],
+            stride,
+            [yi + A_SCALAR * xi for xi, yi in zip(x, y)],
+        )
+        assert read_back(system, bases["y"], stride) == [
+            yi + A_SCALAR * xi
+            for xi, yi in zip(ref["x"], ref["y"])
+        ]
+
+    def test_swap(self, stride):
+        system, bases, ref = setup_arrays("swap", stride)
+        x = gather(system, bases["x"], stride, ELEMENTS)
+        y = gather(system, bases["y"], stride, ELEMENTS)
+        scatter(system, bases["x"], stride, y)
+        scatter(system, bases["y"], stride, x)
+        assert read_back(system, bases["x"], stride) == ref["y"]
+        assert read_back(system, bases["y"], stride) == ref["x"]
+
+    def test_vaxpy(self, stride):
+        system, bases, ref = setup_arrays("vaxpy", stride)
+        a = gather(system, bases["a"], stride, ELEMENTS)
+        x = gather(system, bases["x"], stride, ELEMENTS)
+        y = gather(system, bases["y"], stride, ELEMENTS)
+        scatter(
+            system,
+            bases["y"],
+            stride,
+            [yi + ai * xi for ai, xi, yi in zip(a, x, y)],
+        )
+        assert read_back(system, bases["y"], stride) == [
+            yi + ai * xi
+            for ai, xi, yi in zip(ref["a"], ref["x"], ref["y"])
+        ]
+
+    def test_tridiag(self, stride):
+        """x[i] = z[i] * (y[i] - x[i-1]) — loop-carried dependency, so
+        each block must read the x written by the previous block."""
+        system, bases, ref = setup_arrays("tridiag", stride)
+        chunk = PARAMS.cache_line_words
+        # Reference execution (x[-1] treated as the pristine word before
+        # the array, which we set to 0 here).
+        system.poke(bases["x"] - stride, 0)
+        expected = list(ref["x"])
+        prev = 0
+        for i in range(ELEMENTS):
+            expected[i] = ref["z"][i] * (ref["y"][i] - prev)
+            prev = expected[i]
+        # Blocked execution through the memory system.
+        for start in range(0, ELEMENTS, chunk):
+            z = gather(system, bases["z"] + start * stride, stride, chunk)
+            y = gather(system, bases["y"] + start * stride, stride, chunk)
+            x_prev = gather(
+                system, bases["x"] + (start - 1) * stride, stride, chunk
+            )
+            block = []
+            carry = x_prev[0]
+            for j in range(chunk):
+                value = z[j] * (y[j] - carry)
+                block.append(value)
+                carry = value
+            scatter(
+                system, bases["x"] + start * stride, stride, block
+            )
+        assert read_back(system, bases["x"], stride) == expected

@@ -1,0 +1,75 @@
+"""Load-balance properties, observed through the SDRAM command logs:
+the parallelism law of section 6.3.1 made visible per bank."""
+
+import pytest
+
+from repro.kernels import build_trace, kernel_by_name
+from repro.params import SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.sim.timeline import bank_utilization
+
+PROTO = SystemParams()
+
+
+def run_with_logs(stride, kernel="scale", elements=256):
+    system = PVAMemorySystem(PROTO)
+    logs = system.attach_command_logs()
+    trace = build_trace(
+        kernel_by_name(kernel), stride=stride, params=PROTO, elements=elements
+    )
+    result = system.run(trace)
+    return logs, result
+
+
+class TestParallelismLaw:
+    def test_odd_stride_balances_all_banks(self):
+        """Stride 19: every bank issues the same number of columns."""
+        logs, _ = run_with_logs(19)
+        columns = [len(log.columns()) for log in logs]
+        assert len(set(columns)) == 1
+        assert columns[0] > 0
+
+    def test_single_bank_stride_concentrates(self):
+        """Stride 16: one bank does all the column work."""
+        logs, _ = run_with_logs(16)
+        columns = [len(log.columns()) for log in logs]
+        busy = [c for c in columns if c > 0]
+        assert len(busy) == 1
+        assert busy[0] == 2 * 256  # read + write per element
+
+    def test_stride_four_uses_a_quarter(self):
+        logs, _ = run_with_logs(4)
+        columns = [len(log.columns()) for log in logs]
+        assert sum(1 for c in columns if c > 0) == PROTO.num_banks // 4
+
+    @pytest.mark.parametrize("stride", [1, 2, 4, 8, 16, 19])
+    def test_column_totals_conserved(self, stride):
+        logs, result = run_with_logs(stride)
+        total = sum(len(log.columns()) for log in logs)
+        assert total == result.device.reads + result.device.writes
+
+    def test_utilization_skew(self):
+        """Bank utilization is flat at stride 1 and maximally skewed at
+        stride 16 — the quantity the timeline renderer exposes."""
+        logs1, result1 = run_with_logs(1)
+        util1 = bank_utilization(logs1, result1.cycles)
+        assert max(util1) - min(util1) < 0.1
+        logs16, result16 = run_with_logs(16)
+        util16 = bank_utilization(logs16, result16.cycles)
+        assert max(util16) > 10 * (
+            sorted(util16)[-2] + 1e-9
+        )  # second-busiest bank is ~idle
+
+
+class TestLogConsistency:
+    def test_logs_monotone_across_kernels(self):
+        for stride in (1, 19):
+            logs, _ = run_with_logs(stride, kernel="vaxpy", elements=128)
+            for log in logs:
+                log.verify_monotone()
+
+    def test_activates_bounded_by_columns(self):
+        """No bank opens more rows than it performs accesses."""
+        logs, _ = run_with_logs(19, kernel="swap", elements=256)
+        for log in logs:
+            assert len(log.activates()) <= max(1, len(log.columns()))

@@ -1,0 +1,66 @@
+"""Golden cycle-count regression tests.
+
+The simulator is deterministic; these exact counts (256-element vectors,
+prototype configuration, 'aligned' placement) pin its timing behaviour so
+refactors that unintentionally change scheduling are caught immediately.
+If a deliberate timing-model change lands, regenerate with the command in
+the docstring of ``test_golden_cycle_counts`` and update both the table
+and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.baselines.pva_sram import make_pva_sram
+from repro.kernels import build_trace, kernel_by_name
+from repro.params import SystemParams
+from repro.pva.system import PVAMemorySystem
+
+#: (kernel, stride) -> (pva_sdram_cycles, pva_sram_cycles)
+GOLDEN = {
+    ("copy", 1): (293, 293),
+    ("copy", 8): (327, 295),
+    ("copy", 16): (583, 529),
+    ("copy", 19): (293, 293),
+    ("saxpy", 1): (443, 443),
+    ("saxpy", 8): (464, 445),
+    ("saxpy", 16): (847, 785),
+    ("saxpy", 19): (443, 443),
+    ("swap", 1): (597, 597),
+    ("swap", 8): (655, 591),
+    ("swap", 16): (1167, 1041),
+    ("swap", 19): (597, 597),
+    ("tridiag", 1): (589, 589),
+    ("tridiag", 8): (624, 589),
+    ("tridiag", 16): (1135, 1041),
+    ("tridiag", 19): (589, 589),
+}
+
+
+@pytest.mark.parametrize("kernel,stride", sorted(GOLDEN))
+def test_golden_cycle_counts(kernel, stride):
+    """Regenerate with::
+
+        python -c "from repro import *; from repro.kernels import *;
+        [print(k, s, PVAMemorySystem().run(build_trace(kernel_by_name(k),
+        stride=s, elements=256)).cycles) for k in (...) for s in (...)]"
+    """
+    params = SystemParams()
+    trace = build_trace(
+        kernel_by_name(kernel), stride=stride, params=params, elements=256
+    )
+    expected_sdram, expected_sram = GOLDEN[(kernel, stride)]
+    assert PVAMemorySystem(params).run(trace).cycles == expected_sdram
+    assert make_pva_sram(params).run(trace).cycles == expected_sram
+
+
+def test_determinism():
+    """Two identical runs produce identical results in every field."""
+    params = SystemParams()
+    trace = build_trace(
+        kernel_by_name("vaxpy"), stride=16, params=params, elements=256
+    )
+    a = PVAMemorySystem(params).run(trace)
+    b = PVAMemorySystem(params).run(trace)
+    assert a.cycles == b.cycles
+    assert a.command_latencies == b.command_latencies
+    assert a.device == b.device

@@ -1,0 +1,105 @@
+"""Tests for the logical-bank transformation (section 4.1.3): the
+word-interleave theorems applied to W*N*M logical banks must reproduce the
+cache-line-interleave access pattern exactly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cacheline import first_hit_bruteforce
+from repro.interleave.logical import LogicalBankView
+from repro.interleave.schemes import InterleaveScheme
+from repro.types import Vector
+
+
+@st.composite
+def vectors(draw):
+    return Vector(
+        base=draw(st.integers(0, 1024)),
+        stride=draw(st.integers(1, 80)),
+        length=draw(st.integers(1, 64)),
+    )
+
+
+GEOMETRIES = [
+    (2, 2, 4),  # the paper's figure 4/5 example
+    (8, 4, 1),  # the section 4.1.2 example geometry
+    (16, 32, 1),  # the prototype's line size over 16 banks
+    (4, 1, 1),  # degenerate: word interleave
+]
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("m,n,w", GEOMETRIES)
+    def test_first_hit_small_grid(self, m, n, w):
+        scheme = InterleaveScheme(
+            num_banks=m, block_words=n, bank_width_words=w
+        )
+        view = LogicalBankView(scheme)
+        chunk = scheme.chunk_words
+        period = chunk * m
+        bases = range(0, 2 * period, max(1, (2 * period) // 8))
+        strides = list(range(1, min(period + 2, 34))) + [
+            period - 1,
+            period,
+            period + 1,
+        ]
+        for base in bases:
+            for stride in strides:
+                v = Vector(base=base, stride=stride, length=3 * m + 2)
+                for bank in range(m):
+                    expected = first_hit_bruteforce(v, bank, m, chunk)
+                    assert view.first_hit(v, bank) == expected, (
+                        base,
+                        stride,
+                        bank,
+                    )
+
+    @given(v=vectors())
+    @settings(max_examples=150)
+    def test_first_hit_paper_geometry(self, v):
+        scheme = InterleaveScheme(num_banks=8, block_words=4)
+        view = LogicalBankView(scheme)
+        for bank in range(8):
+            assert view.first_hit(v, bank) == first_hit_bruteforce(
+                v, bank, 8, 4
+            )
+
+    @given(v=vectors())
+    @settings(max_examples=150)
+    def test_hit_indices_partition(self, v):
+        """Across physical banks, hit indices partition [0, L)."""
+        scheme = InterleaveScheme(num_banks=8, block_words=4)
+        view = LogicalBankView(scheme)
+        seen = []
+        for bank in range(8):
+            indices = view.hit_indices(v, bank)
+            assert indices == sorted(indices)
+            seen.extend(indices)
+        assert sorted(seen) == list(range(v.length))
+
+    @given(v=vectors())
+    @settings(max_examples=100)
+    def test_subvector_addresses(self, v):
+        scheme = InterleaveScheme(num_banks=4, block_words=8)
+        view = LogicalBankView(scheme)
+        for bank in range(4):
+            for index, address in view.subvector(v, bank):
+                assert address == v.element_address(index)
+                assert scheme.bank_of(address) == bank
+
+    def test_hit_count(self):
+        scheme = InterleaveScheme(num_banks=8, block_words=4)
+        view = LogicalBankView(scheme)
+        # Example 4 of section 4.1.2: banks 0,2,4,6,1,3,5,7,2,4.
+        v = Vector(base=0, stride=9, length=10)
+        counts = [view.hit_count(v, bank) for bank in range(8)]
+        assert counts == [1, 1, 2, 1, 2, 1, 1, 1]
+
+    def test_word_interleave_degenerates_to_theorems(self):
+        from repro.core.firsthit import first_hit
+
+        scheme = InterleaveScheme.word(16)
+        view = LogicalBankView(scheme)
+        v = Vector(base=3, stride=6, length=40)
+        for bank in range(16):
+            assert view.first_hit(v, bank) == first_hit(v, bank, 16)

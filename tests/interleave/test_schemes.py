@@ -1,0 +1,108 @@
+"""Tests for the W x N x M interleave schemes (section 4.1.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, VectorSpecError
+from repro.interleave.schemes import InterleaveScheme
+
+
+class TestConstruction:
+    def test_word_interleave_factory(self):
+        scheme = InterleaveScheme.word(16)
+        assert scheme.block_words == 1
+        assert scheme.bank_width_words == 1
+        assert scheme.chunk_words == 1
+
+    def test_cache_line_factory(self):
+        scheme = InterleaveScheme.cache_line(16, 32)
+        assert scheme.block_words == 32
+        assert scheme.chunk_words == 32
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            InterleaveScheme(num_banks=3)
+        with pytest.raises(ConfigurationError):
+            InterleaveScheme(num_banks=4, block_words=5)
+        with pytest.raises(ConfigurationError):
+            InterleaveScheme(num_banks=4, bank_width_words=3)
+
+    def test_logical_bank_count(self):
+        """The paper's N=2, W=4, M=2 example yields 16 logical banks."""
+        scheme = InterleaveScheme(
+            num_banks=2, block_words=2, bank_width_words=4
+        )
+        assert scheme.logical_banks == 16
+
+
+class TestMapping:
+    def test_paper_figure_4_physical_view(self):
+        """N=2, W=4, M=2: bank 0 owns words 0-7, bank 1 owns 8-15, then
+        bank 0 again at 16."""
+        scheme = InterleaveScheme(
+            num_banks=2, block_words=2, bank_width_words=4
+        )
+        assert [scheme.bank_of(a) for a in range(0, 24, 4)] == [
+            0,
+            0,
+            1,
+            1,
+            0,
+            0,
+        ]
+
+    def test_logical_view_is_word_modulo(self):
+        scheme = InterleaveScheme(
+            num_banks=2, block_words=2, bank_width_words=4
+        )
+        for address in range(64):
+            assert scheme.logical_bank_of(address) == address % 16
+
+    def test_logical_to_physical(self):
+        scheme = InterleaveScheme(
+            num_banks=2, block_words=2, bank_width_words=4
+        )
+        # Logical banks 0-7 live in physical bank 0, 8-15 in bank 1.
+        assert [scheme.physical_bank_of_logical(j) for j in range(16)] == [
+            0
+        ] * 8 + [1] * 8
+
+    def test_logical_physical_consistency(self):
+        """logical_bank -> physical bank agrees with direct decoding."""
+        scheme = InterleaveScheme(
+            num_banks=4, block_words=8, bank_width_words=2
+        )
+        for address in range(0, 512, 3):
+            logical = scheme.logical_bank_of(address)
+            assert scheme.physical_bank_of_logical(logical) == scheme.bank_of(
+                address
+            )
+
+    def test_negative_address(self):
+        scheme = InterleaveScheme.word(4)
+        with pytest.raises(VectorSpecError):
+            scheme.bank_of(-1)
+        with pytest.raises(VectorSpecError):
+            scheme.local_word(-1)
+
+    def test_out_of_range_logical_bank(self):
+        scheme = InterleaveScheme.word(4)
+        with pytest.raises(ConfigurationError):
+            scheme.physical_bank_of_logical(4)
+
+    @given(
+        address=st.integers(0, 10**6),
+        m=st.sampled_from([1, 2, 4, 8]),
+        n=st.sampled_from([1, 2, 8]),
+        w=st.sampled_from([1, 2, 4]),
+    )
+    def test_local_word_roundtrip(self, address, m, n, w):
+        scheme = InterleaveScheme(
+            num_banks=m, block_words=n, bank_width_words=w
+        )
+        bank = scheme.bank_of(address)
+        local = scheme.local_word(address)
+        chunk_index = local // scheme.chunk_words
+        offset = local % scheme.chunk_words
+        rebuilt = (chunk_index * m + bank) * scheme.chunk_words + offset
+        assert rebuilt == address

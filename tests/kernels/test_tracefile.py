@@ -1,0 +1,117 @@
+"""Tests for trace serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import VectorSpecError
+from repro.kernels import build_trace, kernel_by_name
+from repro.kernels.tracefile import dumps, load, loads, save
+from repro.params import SystemParams
+from repro.types import AccessType, ExplicitCommand, Vector, VectorCommand
+from repro.workloads.random_traces import RandomTraceConfig, random_trace
+
+PROTO = SystemParams()
+
+
+class TestRoundTrip:
+    def test_kernel_trace_round_trips(self):
+        trace = build_trace(kernel_by_name("tridiag"), stride=19, elements=128)
+        assert loads(dumps(trace)) == trace
+
+    def test_explicit_commands_round_trip(self):
+        trace = [
+            ExplicitCommand(
+                addresses=(5, 99, 3),
+                access=AccessType.READ,
+                broadcast_cycles=3,
+                tag="x",
+            ),
+            ExplicitCommand(
+                addresses=(7,),
+                access=AccessType.WRITE,
+                broadcast_cycles=2,
+                data=(42,),
+            ),
+        ]
+        assert loads(dumps(trace)) == trace
+
+    def test_write_data_preserved(self):
+        trace = [
+            VectorCommand(
+                vector=Vector(base=0, stride=2, length=4),
+                access=AccessType.WRITE,
+                data=(9, 8, 7, 6),
+            )
+        ]
+        assert loads(dumps(trace))[0].data == (9, 8, 7, 6)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_traces_round_trip(self, seed):
+        trace = random_trace(
+            seed,
+            PROTO,
+            RandomTraceConfig(
+                commands=10, explicit_fraction=0.4, full_lines=False
+            ),
+        )
+        assert loads(dumps(trace)) == trace
+
+    def test_file_round_trip(self, tmp_path):
+        trace = build_trace(kernel_by_name("copy"), stride=4, elements=64)
+        path = save(trace, tmp_path / "copy.trace.json")
+        assert load(path) == trace
+
+
+class TestValidation:
+    def test_invalid_json(self):
+        with pytest.raises(VectorSpecError):
+            loads("{not json")
+
+    def test_missing_commands_key(self):
+        with pytest.raises(VectorSpecError):
+            loads('{"version": 1}')
+
+    def test_unknown_version(self):
+        with pytest.raises(VectorSpecError):
+            loads('{"version": 99, "commands": []}')
+
+    def test_unknown_kind(self):
+        with pytest.raises(VectorSpecError):
+            loads(
+                '{"version": 1, "commands": [{"kind": "magic", '
+                '"access": "read"}]}'
+            )
+
+    def test_missing_vector_fields(self):
+        with pytest.raises(VectorSpecError):
+            loads(
+                '{"version": 1, "commands": [{"kind": "vector", '
+                '"access": "read", "base": 0}]}'
+            )
+
+    def test_invalid_access(self):
+        with pytest.raises(VectorSpecError):
+            loads(
+                '{"version": 1, "commands": [{"kind": "vector", '
+                '"access": "modify", "base": 0, "stride": 1, "length": 1}]}'
+            )
+
+    def test_invalid_vector_values_rejected(self):
+        """Field validation flows through the Vector constructor."""
+        with pytest.raises(VectorSpecError):
+            loads(
+                '{"version": 1, "commands": [{"kind": "vector", '
+                '"access": "read", "base": -1, "stride": 1, "length": 1}]}'
+            )
+
+
+class TestReplay:
+    def test_saved_trace_replays_identically(self, tmp_path):
+        from repro.pva.system import PVAMemorySystem
+
+        trace = build_trace(kernel_by_name("swap"), stride=8, elements=128)
+        path = save(trace, tmp_path / "swap.json")
+        original = PVAMemorySystem(PROTO).run(trace).cycles
+        replayed = PVAMemorySystem(PROTO).run(load(path)).cycles
+        assert original == replayed

@@ -1,0 +1,140 @@
+"""Tests for trace generation: chunking, program order, alignments."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.kernels import kernel_by_name
+from repro.kernels.traces import ALIGNMENTS, array_bases, build_trace
+from repro.params import SystemParams
+from repro.types import AccessType
+
+PARAMS = SystemParams()
+
+
+def alignment(name):
+    for a in ALIGNMENTS:
+        if a.name == name:
+            return a
+    raise KeyError(name)
+
+
+class TestTraceStructure:
+    def test_command_count(self):
+        """1024 elements = 32 blocks; copy issues 2 commands per block."""
+        trace = build_trace(kernel_by_name("copy"), stride=1, params=PARAMS)
+        assert len(trace) == 64
+
+    def test_commands_are_line_sized(self):
+        trace = build_trace(kernel_by_name("vaxpy"), stride=4, params=PARAMS)
+        assert all(c.vector.length == 32 for c in trace)
+
+    def test_program_order_per_block(self):
+        trace = build_trace(kernel_by_name("saxpy"), stride=1, params=PARAMS)
+        block0 = trace[:3]
+        assert [c.access for c in block0] == [
+            AccessType.READ,
+            AccessType.READ,
+            AccessType.WRITE,
+        ]
+
+    def test_blocks_advance_through_array(self):
+        trace = build_trace(kernel_by_name("scale"), stride=2, params=PARAMS)
+        reads = [c for c in trace if c.access is AccessType.READ]
+        assert reads[1].vector.base - reads[0].vector.base == 32 * 2
+
+    def test_unrolled_grouping(self):
+        """copy2 groups two consecutive commands per vector: the PVA sees
+        read x(b), read x(b+1), write y(b), write y(b+1)."""
+        trace = build_trace(kernel_by_name("copy2"), stride=1, params=PARAMS)
+        group = trace[:4]
+        assert [c.access for c in group] == [
+            AccessType.READ,
+            AccessType.READ,
+            AccessType.WRITE,
+            AccessType.WRITE,
+        ]
+        assert group[1].vector.base - group[0].vector.base == 32
+        assert group[3].vector.base - group[2].vector.base == 32
+
+    def test_tridiag_shifted_read(self):
+        trace = build_trace(kernel_by_name("tridiag"), stride=3, params=PARAMS)
+        block0 = trace[:4]
+        x_read = block0[2]
+        x_write = block0[3]
+        assert x_write.vector.base - x_read.vector.base == 3  # one stride
+
+    def test_rejects_non_multiple_elements(self):
+        with pytest.raises(ConfigurationError):
+            build_trace(
+                kernel_by_name("copy"), stride=1, params=PARAMS, elements=100
+            )
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ConfigurationError):
+            build_trace(kernel_by_name("copy"), stride=0, params=PARAMS)
+
+    def test_tags_identify_commands(self):
+        trace = build_trace(kernel_by_name("copy"), stride=1, params=PARAMS)
+        assert trace[0].tag == "copy.x.read[0]"
+        assert trace[-1].tag == "copy.y.write[31]"
+
+
+class TestAlignments:
+    def test_five_alignments(self):
+        assert len(ALIGNMENTS) == 5
+        assert len({a.name for a in ALIGNMENTS}) == 5
+
+    def test_aligned_bases_congruent(self):
+        """With the 'aligned' setting, all arrays start on the same bank,
+        internal bank and row offset."""
+        bases = array_bases(
+            kernel_by_name("vaxpy"), 1, 1024, PARAMS, alignment("aligned")
+        )
+        period = (
+            PARAMS.num_banks
+            * PARAMS.sdram.row_words
+            * PARAMS.sdram.internal_banks
+        )
+        values = list(bases.values())
+        assert len({b % period for b in values}) == 1
+
+    def test_bank_plus_one_staggers_banks(self):
+        bases = array_bases(
+            kernel_by_name("vaxpy"), 1, 1024, PARAMS, alignment("bank+1")
+        )
+        banks = [b % PARAMS.num_banks for b in bases.values()]
+        assert banks == [banks[0], banks[0] + 1, banks[0] + 2]
+
+    def test_ibank_plus_one_staggers_internal_banks(self):
+        bases = array_bases(
+            kernel_by_name("copy"), 1, 1024, PARAMS, alignment("ibank+1")
+        )
+        x, y = bases["x"], bases["y"]
+        assert x % PARAMS.num_banks == y % PARAMS.num_banks  # same bank
+        row_seq = lambda b: (b // PARAMS.num_banks) // PARAMS.sdram.row_words
+        ib = lambda b: row_seq(b) % PARAMS.sdram.internal_banks
+        assert (ib(y) - ib(x)) % PARAMS.sdram.internal_banks == 1
+
+    def test_arrays_never_overlap(self):
+        for align in ALIGNMENTS:
+            for stride in (1, 19):
+                bases = array_bases(
+                    kernel_by_name("tridiag"), stride, 1024, PARAMS, align
+                )
+                span = 1024 * stride
+                ranges = sorted(
+                    (b, b + span) for b in bases.values()
+                )
+                for (_, end), (start, _) in zip(ranges, ranges[1:]):
+                    assert end <= start, (align.name, stride, ranges)
+
+    def test_all_addresses_nonnegative(self):
+        """tridiag's x[i-1] offset must stay inside the lead pad."""
+        for align in ALIGNMENTS:
+            trace = build_trace(
+                kernel_by_name("tridiag"),
+                stride=19,
+                params=PARAMS,
+                alignment=align,
+            )
+            assert all(c.vector.base >= 0 for c in trace)

@@ -1,0 +1,88 @@
+"""Tests for the FirstHit Predict and Calculate units."""
+
+import pytest
+
+from repro.core.firsthit import first_hit, hit_count
+from repro.core.pla import K1PLA
+from repro.params import SystemParams
+from repro.pva.fhp import FirstHitCalculator, FirstHitPredictor
+from repro.types import Vector
+
+
+@pytest.fixture
+def params():
+    return SystemParams()
+
+
+@pytest.fixture
+def pla(params):
+    return K1PLA(params.num_banks)
+
+
+class TestPredictor:
+    def test_predict_matches_core(self, params, pla):
+        for stride in (1, 2, 3, 6, 8, 16, 19):
+            v = Vector(base=21, stride=stride, length=32)
+            for bank in range(params.num_banks):
+                fhp = FirstHitPredictor(bank, params, pla)
+                sub = fhp.predict(v)
+                expected = first_hit(v, bank, params.num_banks)
+                if expected is None:
+                    assert sub is None
+                else:
+                    assert sub.first_index == expected
+                    assert sub.count == hit_count(v, bank, params.num_banks)
+                    assert sub.first_address == v.element_address(expected)
+
+    def test_power_of_two_detection(self, params, pla):
+        fhp = FirstHitPredictor(0, params, pla)
+        assert fhp.stride_is_power_of_two(8)
+        assert fhp.stride_is_power_of_two(16)  # single-bank case
+        assert not fhp.stride_is_power_of_two(19)
+
+    def test_local_address(self, params, pla):
+        fhp = FirstHitPredictor(3, params, pla)
+        assert fhp.local_address(3) == 0
+        assert fhp.local_address(3 + 16 * 7) == 7
+
+    def test_local_step_integral(self, params, pla):
+        for stride in range(1, 40):
+            v = Vector(base=0, stride=stride, length=64)
+            for bank in (0, 1, 7, 15):
+                fhp = FirstHitPredictor(bank, params, pla)
+                sub = fhp.predict(v)
+                if sub is not None:
+                    assert sub.address_step % params.num_banks == 0
+                    assert fhp.local_step(sub) == (
+                        sub.address_step // params.num_banks
+                    )
+
+
+class TestCalculator:
+    def test_latency(self, params):
+        fhc = FirstHitCalculator(params)
+        # Busy BC: arrival + 2-cycle multiply-add + write-back cycle.
+        assert fhc.schedule(arrival_cycle=10, bank_idle=False) == 13
+
+    def test_bypass_saves_writeback(self, params):
+        fhc = FirstHitCalculator(params)
+        assert fhc.schedule(arrival_cycle=10, bank_idle=True) == 12
+
+    def test_bypass_disabled(self):
+        params = SystemParams(bypass_paths=False)
+        fhc = FirstHitCalculator(params)
+        assert fhc.schedule(arrival_cycle=10, bank_idle=True) == 13
+
+    def test_serial_occupancy(self, params):
+        """Back-to-back requests queue behind the single multiply-add."""
+        fhc = FirstHitCalculator(params)
+        first = fhc.schedule(arrival_cycle=0, bank_idle=False)
+        second = fhc.schedule(arrival_cycle=0, bank_idle=False)
+        assert first == 3
+        assert second == 5  # starts only after the first finishes
+        assert fhc.calculations == 2
+
+    def test_idle_gap_resets_pipeline(self, params):
+        fhc = FirstHitCalculator(params)
+        fhc.schedule(arrival_cycle=0, bank_idle=False)
+        assert fhc.schedule(arrival_cycle=100, bank_idle=False) == 103

@@ -1,0 +1,107 @@
+"""Tests for the row-management policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pva.rowpolicy import (
+    ClosePolicy,
+    HistoryPolicy,
+    OpenPolicy,
+    PaperPolicy,
+    make_row_policy,
+)
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_row_policy("paper", 4), PaperPolicy)
+        assert isinstance(make_row_policy("close", 4), ClosePolicy)
+        assert isinstance(make_row_policy("open", 4), OpenPolicy)
+        assert isinstance(make_row_policy("history", 4), HistoryPolicy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            make_row_policy("banana", 4)
+
+
+class TestPaperPolicy:
+    def test_more_hits_always_keeps_open(self):
+        policy = PaperPolicy(4)
+        assert not policy.decide(0, last_of_request=True, more_hits=True,
+                                 close_predicted=True)
+        assert not policy.decide(0, last_of_request=False, more_hits=True,
+                                 close_predicted=False)
+
+    def test_close_predicted_closes_at_completion(self):
+        policy = PaperPolicy(4)
+        assert policy.decide(0, last_of_request=True, more_hits=False,
+                             close_predicted=True)
+
+    def test_predictor_used_when_no_information(self):
+        policy = PaperPolicy(4)
+        # Request continued the previous row: loops reuse it; leave open.
+        policy.note_first_operation(1, row_continues=True)
+        assert not policy.decide(1, last_of_request=True, more_hits=False,
+                                 close_predicted=False)
+        # Request started a fresh row: close at completion.
+        policy.note_first_operation(1, row_continues=False)
+        assert policy.decide(1, last_of_request=True, more_hits=False,
+                             close_predicted=False)
+
+    def test_mid_request_default_is_close(self):
+        """Mid-request with no future hits predicted: auto-precharge so the
+        next row can open early."""
+        policy = PaperPolicy(4)
+        assert policy.decide(0, last_of_request=False, more_hits=False,
+                             close_predicted=False)
+
+
+class TestClosedOpenPolicies:
+    def test_close_always(self):
+        policy = ClosePolicy(4)
+        assert policy.decide(0, True, False, False)
+        assert policy.decide(0, False, False, False)
+
+    def test_open_never(self):
+        policy = OpenPolicy(4)
+        assert not policy.decide(0, True, False, True)
+        assert not policy.decide(0, False, False, True)
+
+
+class TestHistoryPolicy:
+    def test_majority_register(self):
+        register = HistoryPolicy.majority_policy_register()
+        # History 0b0011 (two hits): leave open.
+        assert register >> 0b0011 & 1
+        # History 0b0001 (one hit): close.
+        assert not register >> 0b0001 & 1
+
+    def test_history_shifts(self):
+        policy = HistoryPolicy(4)
+        for hit in (True, True, False, True):
+            policy.observe_access(2, hit)
+        assert policy.history[2] == 0b1101
+
+    def test_history_is_four_bits(self):
+        policy = HistoryPolicy(4)
+        for _ in range(10):
+            policy.observe_access(0, True)
+        assert policy.history[0] == 0b1111
+
+    def test_decision_follows_register(self):
+        policy = HistoryPolicy(4)
+        for hit in (True, True, True, True):
+            policy.observe_access(0, hit)
+        assert not policy.decide(0, True, False, False)  # hot row: open
+        for hit in (False, False, False, False):
+            policy.observe_access(0, hit)
+        assert policy.decide(0, True, False, False)  # cold row: close
+
+    def test_more_hits_overrides(self):
+        policy = HistoryPolicy(4)
+        assert not policy.decide(0, True, more_hits=True, close_predicted=False)
+
+    def test_custom_register_validation(self):
+        with pytest.raises(ConfigurationError):
+            HistoryPolicy(4, policy_register=1 << 16)
+        HistoryPolicy(4, policy_register=0)  # all-close is legal

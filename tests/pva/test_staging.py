@@ -1,0 +1,107 @@
+"""Tests for the read/write staging units and transaction-complete lines."""
+
+import pytest
+
+from repro.errors import CapacityError, ProtocolError
+from repro.pva.staging import ReadStagingUnit, WriteStagingUnit
+
+
+class TestReadStaging:
+    def test_lifecycle(self):
+        unit = ReadStagingUnit(capacity=8)
+        unit.open(txn_id=1, expected=2)
+        assert not unit.complete(1, cycle=0)
+        unit.collect(1, index=0, value=10, data_cycle=5)
+        assert not unit.complete(1, cycle=6)
+        unit.collect(1, index=16, value=20, data_cycle=7)
+        assert not unit.complete(1, cycle=6)  # data not yet arrived
+        assert unit.complete(1, cycle=7)
+        assert unit.drain(1) == [(0, 10), (16, 20)]
+
+    def test_zero_expected_is_immediately_complete(self):
+        unit = ReadStagingUnit(capacity=8)
+        unit.open(txn_id=3, expected=0)
+        assert unit.complete(3, cycle=0)
+        assert unit.drain(3) == []
+
+    def test_duplicate_open_rejected(self):
+        unit = ReadStagingUnit(capacity=8)
+        unit.open(1, 1)
+        with pytest.raises(ProtocolError):
+            unit.open(1, 1)
+
+    def test_capacity_enforced(self):
+        unit = ReadStagingUnit(capacity=2)
+        unit.open(0, 1)
+        unit.open(1, 1)
+        with pytest.raises(CapacityError):
+            unit.open(2, 1)
+
+    def test_collect_unknown_txn(self):
+        unit = ReadStagingUnit(capacity=8)
+        with pytest.raises(ProtocolError):
+            unit.collect(9, 0, 0, 0)
+
+    def test_overcollect_rejected(self):
+        unit = ReadStagingUnit(capacity=8)
+        unit.open(1, 1)
+        unit.collect(1, 0, 5, 1)
+        with pytest.raises(ProtocolError):
+            unit.collect(1, 1, 6, 2)
+
+    def test_drain_incomplete_rejected(self):
+        unit = ReadStagingUnit(capacity=8)
+        unit.open(1, 2)
+        unit.collect(1, 0, 5, 1)
+        with pytest.raises(ProtocolError):
+            unit.drain(1)
+
+    def test_drain_frees_slot(self):
+        unit = ReadStagingUnit(capacity=1)
+        unit.open(1, 0)
+        unit.drain(1)
+        unit.open(2, 0)  # no CapacityError
+        assert len(unit) == 1
+
+
+class TestWriteStaging:
+    def test_lifecycle(self):
+        unit = WriteStagingUnit(capacity=8)
+        unit.open(txn_id=4, expected=2)
+        unit.commit(4, commit_cycle=10)
+        assert not unit.complete(4, cycle=12)
+        unit.commit(4, commit_cycle=11)
+        assert not unit.complete(4, cycle=10)
+        assert unit.complete(4, cycle=11)
+        unit.release(4)
+        assert len(unit) == 0
+
+    def test_zero_expected(self):
+        unit = WriteStagingUnit(capacity=8)
+        unit.open(5, 0)
+        assert unit.complete(5, cycle=0)
+
+    def test_overcommit_rejected(self):
+        unit = WriteStagingUnit(capacity=8)
+        unit.open(1, 1)
+        unit.commit(1, 1)
+        with pytest.raises(ProtocolError):
+            unit.commit(1, 2)
+
+    def test_release_unknown(self):
+        unit = WriteStagingUnit(capacity=8)
+        with pytest.raises(ProtocolError):
+            unit.release(7)
+
+    def test_capacity(self):
+        unit = WriteStagingUnit(capacity=1)
+        unit.open(0, 1)
+        with pytest.raises(CapacityError):
+            unit.open(1, 1)
+
+    def test_unknown_txn_queries(self):
+        unit = WriteStagingUnit(capacity=8)
+        with pytest.raises(ProtocolError):
+            unit.complete(9, 0)
+        with pytest.raises(ProtocolError):
+            unit.commit(9, 0)

@@ -1,0 +1,108 @@
+"""Tests for vector-context address expansion."""
+
+import pytest
+
+from repro.core.subvector import SubVector
+from repro.pva.request import BCRequest
+from repro.pva.vector_context import VectorContext
+from repro.types import Vector
+
+
+def make_request(first_index=0, delta=16, count=2, local_first=0, local_step=1,
+                 is_write=False, write_line=None, explicit=None):
+    vector = Vector(base=0, stride=1, length=32)
+    sub = SubVector(
+        bank=0,
+        first_index=first_index,
+        delta=delta,
+        count=count,
+        first_address=first_index,
+        address_step=delta,
+    )
+    return BCRequest(
+        txn_id=0,
+        vector=vector,
+        is_write=is_write,
+        sub=None if explicit is not None else sub,
+        local_first=local_first,
+        local_step=local_step,
+        acc=True,
+        ready_cycle=0,
+        write_line=write_line,
+        explicit=explicit,
+    )
+
+
+class TestArithmeticExpansion:
+    def test_walks_progression(self):
+        req = make_request(first_index=3, delta=16, count=3, local_first=10,
+                           local_step=5)
+        vc = VectorContext(req, entered_cycle=0)
+        seen = []
+        while not vc.done:
+            seen.append((vc.local_addr, vc.index))
+            vc.advance()
+        assert seen == [(10, 3), (15, 19), (20, 35)]
+
+    def test_next_local_addr(self):
+        req = make_request(count=2, local_first=10, local_step=5)
+        vc = VectorContext(req, entered_cycle=0)
+        assert vc.next_local_addr == 15
+        vc.advance()
+        assert vc.next_local_addr is None  # last element
+
+    def test_done_after_count(self):
+        req = make_request(count=1)
+        vc = VectorContext(req, entered_cycle=0)
+        assert not vc.done
+        vc.advance()
+        assert vc.done
+
+    def test_issued_any_flag(self):
+        req = make_request(count=2)
+        vc = VectorContext(req, entered_cycle=0)
+        assert not vc.issued_any
+        vc.advance()
+        assert vc.issued_any
+
+
+class TestExplicitExpansion:
+    def test_walks_list(self):
+        explicit = ((40, 2), (7, 9), (99, 30))
+        req = make_request(explicit=explicit, local_first=40)
+        vc = VectorContext(req, entered_cycle=0)
+        seen = []
+        while not vc.done:
+            seen.append((vc.local_addr, vc.index))
+            vc.advance()
+        assert seen == [(40, 2), (7, 9), (99, 30)]
+
+    def test_next_local_addr_from_list(self):
+        explicit = ((40, 2), (7, 9))
+        req = make_request(explicit=explicit, local_first=40)
+        vc = VectorContext(req, entered_cycle=0)
+        assert vc.next_local_addr == 7
+        vc.advance()
+        assert vc.next_local_addr is None
+
+    def test_count_from_list(self):
+        explicit = ((1, 0), (2, 1), (3, 2), (4, 3))
+        req = make_request(explicit=explicit, local_first=1)
+        assert req.count == 4
+
+
+class TestWriteData:
+    def test_write_value_indexed_by_element(self):
+        line = tuple(range(100, 132))
+        req = make_request(first_index=3, delta=16, count=2, is_write=True,
+                           write_line=line)
+        vc = VectorContext(req, entered_cycle=0)
+        assert vc.write_value() == 103
+        vc.advance()
+        assert vc.write_value() == 119
+
+    def test_write_without_line_raises(self):
+        req = make_request(is_write=True)
+        vc = VectorContext(req, entered_cycle=0)
+        with pytest.raises(ValueError):
+            vc.write_value()

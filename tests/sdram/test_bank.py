@@ -1,0 +1,97 @@
+"""Tests for the internal-bank state machine."""
+
+import pytest
+
+from repro.errors import SchedulingError, TimingViolation
+from repro.params import SDRAMTiming
+from repro.sdram.bank import InternalBank
+
+TIMING = SDRAMTiming(t_rcd=2, cas_latency=2, t_rp=2, t_wr=1)
+
+
+@pytest.fixture
+def bank():
+    return InternalBank(0, TIMING)
+
+
+class TestActivate:
+    def test_open_then_column_after_trcd(self, bank):
+        bank.activate(row=5, cycle=0)
+        assert bank.open_row == 5
+        assert not bank.can_column(1, row=5)  # t_rcd not elapsed
+        assert bank.can_column(2, row=5)
+
+    def test_activate_while_open_is_error(self, bank):
+        bank.activate(row=5, cycle=0)
+        with pytest.raises(SchedulingError):
+            bank.activate(row=6, cycle=10)
+
+    def test_cannot_column_wrong_row(self, bank):
+        bank.activate(row=5, cycle=0)
+        assert not bank.can_column(10, row=6)
+
+    def test_column_with_closed_bank_is_error(self, bank):
+        with pytest.raises(SchedulingError):
+            bank.column(0, is_write=False, auto_precharge=False)
+
+
+class TestPrecharge:
+    def test_precharge_then_activate_after_trp(self, bank):
+        bank.activate(row=5, cycle=0)
+        bank.precharge(cycle=2)
+        assert bank.open_row is None
+        assert not bank.can_activate(3)
+        assert bank.can_activate(4)  # t_rp = 2
+
+    def test_precharge_too_early_raises(self, bank):
+        bank.activate(row=5, cycle=0)
+        with pytest.raises(TimingViolation):
+            bank.precharge(cycle=1)  # before activate completes
+
+    def test_precharge_closed_bank_is_error(self, bank):
+        with pytest.raises(SchedulingError):
+            bank.precharge(cycle=0)
+
+    def test_write_recovery_delays_precharge(self, bank):
+        bank.activate(row=1, cycle=0)
+        bank.column(2, is_write=True, auto_precharge=False)
+        assert not bank.can_precharge(3)  # t_wr holds it
+        assert bank.can_precharge(4)
+
+    def test_read_allows_next_cycle_precharge(self, bank):
+        bank.activate(row=1, cycle=0)
+        bank.column(2, is_write=False, auto_precharge=False)
+        assert bank.can_precharge(3)
+
+
+class TestAutoPrecharge:
+    def test_auto_precharge_closes_row(self, bank):
+        bank.activate(row=1, cycle=0)
+        bank.column(2, is_write=False, auto_precharge=True)
+        assert bank.open_row is None
+        assert bank.auto_precharges == 1
+
+    def test_auto_precharge_respects_trp(self, bank):
+        bank.activate(row=1, cycle=0)
+        bank.column(2, is_write=False, auto_precharge=True)
+        # Closed effective cycle 3, + t_rp 2 -> ready at 5.
+        assert not bank.can_activate(4)
+        assert bank.can_activate(5)
+
+    def test_write_auto_precharge_includes_recovery(self, bank):
+        bank.activate(row=1, cycle=0)
+        bank.column(2, is_write=True, auto_precharge=True)
+        assert not bank.can_activate(5)
+        assert bank.can_activate(6)  # extra t_wr cycle
+
+
+class TestStats:
+    def test_counters(self, bank):
+        bank.activate(row=1, cycle=0)
+        bank.column(2, is_write=False, auto_precharge=False)
+        bank.precharge(cycle=3)
+        bank.activate(row=2, cycle=5)
+        bank.column(7, is_write=False, auto_precharge=True)
+        assert bank.activates == 2
+        assert bank.precharges == 1
+        assert bank.auto_precharges == 1

@@ -1,0 +1,74 @@
+"""Tests for the DRAM technology presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.kernels import build_trace, kernel_by_name
+from repro.params import SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.sdram.presets import (
+    DDR_CLASS,
+    EDO,
+    FAST_PAGE_MODE,
+    PC100_SDRAM,
+    PRESETS,
+)
+
+
+class TestPresetValues:
+    def test_registry_complete(self):
+        assert set(PRESETS) == {"pc100-sdram", "fpm", "edo", "ddr-class"}
+
+    def test_paper_part_is_the_default(self):
+        """The prototype's timing equals the PC100 preset."""
+        assert SystemParams().sdram == PC100_SDRAM
+
+    def test_edo_is_fpm_with_faster_cas(self):
+        assert EDO.cas_latency < FAST_PAGE_MODE.cas_latency
+        assert EDO.t_rcd == FAST_PAGE_MODE.t_rcd
+        assert EDO.internal_banks == FAST_PAGE_MODE.internal_banks
+
+    def test_ddr_class_more_banked(self):
+        assert DDR_CLASS.internal_banks > PC100_SDRAM.internal_banks
+        assert DDR_CLASS.t_rp <= PC100_SDRAM.t_rp
+
+
+class TestPresetBehaviour:
+    def _cycles(self, timing, stride):
+        params = dataclasses.replace(SystemParams(), sdram=timing)
+        trace = build_trace(
+            kernel_by_name("scale"), stride=stride, params=params,
+            elements=256,
+        )
+        return PVAMemorySystem(params).run(trace).cycles
+
+    def test_technology_ordering_at_bank_bound_stride(self):
+        """Where the SDRAM is the bottleneck (stride 16) the generations
+        order as expected: FPM >= EDO >= PC100 >= DDR-class."""
+        fpm = self._cycles(FAST_PAGE_MODE, 16)
+        edo = self._cycles(EDO, 16)
+        sdram = self._cycles(PC100_SDRAM, 16)
+        ddr = self._cycles(DDR_CLASS, 16)
+        assert fpm >= edo >= sdram >= ddr
+
+    def test_bus_bound_strides_insensitive(self):
+        """At full parallelism the vector bus hides the part's speed."""
+        fpm = self._cycles(FAST_PAGE_MODE, 19)
+        ddr = self._cycles(DDR_CLASS, 19)
+        assert fpm <= ddr * 1.15
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_all_presets_functionally_correct(self, name):
+        from repro.types import AccessType, Vector, VectorCommand
+
+        params = dataclasses.replace(SystemParams(), sdram=PRESETS[name])
+        system = PVAMemorySystem(params)
+        v = Vector(base=5, stride=19, length=32)
+        for a in v.addresses():
+            system.poke(a, a * 3)
+        result = system.run(
+            [VectorCommand(vector=v, access=AccessType.READ)],
+            capture_data=True,
+        )
+        assert result.read_lines[0] == tuple(a * 3 for a in v.addresses())

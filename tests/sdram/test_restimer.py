@@ -1,0 +1,43 @@
+"""Tests for the restimer resource counters (section 5.2.5)."""
+
+import pytest
+
+from repro.errors import TimingViolation
+from repro.sdram.restimer import Restimer
+
+
+class TestRestimer:
+    def test_initially_available(self):
+        timer = Restimer("t_rp")
+        assert timer.available(0)
+        timer.check(0)  # no raise
+
+    def test_hold_blocks_until_release(self):
+        timer = Restimer("t_rcd")
+        timer.hold_until(5)
+        assert not timer.available(4)
+        assert timer.available(5)
+
+    def test_check_raises_when_busy(self):
+        timer = Restimer("t_rcd")
+        timer.hold_until(3)
+        with pytest.raises(TimingViolation):
+            timer.check(2)
+
+    def test_holds_never_shrink(self):
+        timer = Restimer("x")
+        timer.hold_until(10)
+        timer.hold_until(4)
+        assert timer.ready_at == 10
+
+    def test_holds_extend(self):
+        timer = Restimer("x")
+        timer.hold_until(4)
+        timer.hold_until(10)
+        assert timer.ready_at == 10
+
+    def test_reset(self):
+        timer = Restimer("x")
+        timer.hold_until(100)
+        timer.reset()
+        assert timer.available(0)

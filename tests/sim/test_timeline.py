@@ -1,0 +1,88 @@
+"""Tests for the text timeline renderer."""
+
+from repro.params import SDRAMTiming, SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.sdram.commands import SDRAMCommand
+from repro.sim.timeline import bank_utilization, render_timeline
+from repro.sim.trace_log import CommandEvent, CommandLog
+from repro.types import AccessType, Vector, VectorCommand
+
+SMALL = SystemParams(
+    num_banks=4, cache_line_words=8, sdram=SDRAMTiming(row_words=64)
+)
+
+
+def make_log(events):
+    log = CommandLog()
+    for event in events:
+        log.record(event)
+    return log
+
+
+class TestRenderer:
+    def test_symbols_placed_at_cycles(self):
+        log = make_log(
+            [
+                CommandEvent(0, SDRAMCommand.ACTIVATE, 0, row=0),
+                CommandEvent(2, SDRAMCommand.READ, 0, row=0, column=0),
+                CommandEvent(3, SDRAMCommand.READ_AP, 0, row=0, column=1),
+            ]
+        )
+        text = render_timeline([log])
+        row = text.splitlines()[1]
+        assert row.endswith("A.rR")
+
+    def test_idle_banks_all_dots(self):
+        busy = make_log([CommandEvent(1, SDRAMCommand.WRITE, 0, column=0)])
+        idle = CommandLog()
+        text = render_timeline([busy, idle], end=4)
+        rows = text.splitlines()
+        assert rows[2].split()[-1] == "...."
+
+    def test_truncation_note(self):
+        log = make_log(
+            [CommandEvent(c, SDRAMCommand.READ, 0, column=c) for c in range(0, 500, 5)]
+        )
+        text = render_timeline([log], width=50)
+        assert "more cycles" in text
+
+    def test_window_selection(self):
+        log = make_log(
+            [
+                CommandEvent(5, SDRAMCommand.READ, 0, column=0),
+                CommandEvent(50, SDRAMCommand.WRITE, 0, column=1),
+            ]
+        )
+        text = render_timeline([log], start=40, end=60)
+        assert "w" in text
+        assert "r" not in text.splitlines()[1]
+
+    def test_real_run_timeline(self):
+        system = PVAMemorySystem(SMALL)
+        logs = system.attach_command_logs()
+        trace = [
+            VectorCommand(
+                vector=Vector(base=0, stride=1, length=8),
+                access=AccessType.READ,
+            )
+        ]
+        system.run(trace)
+        text = render_timeline(logs)
+        # Every bank got an activate and two reads (8 elements / 4 banks).
+        assert text.count("A") >= 4 + 1  # +1 from the legend line
+        assert len(text.splitlines()) == 1 + 4 + 1  # ruler + banks + legend
+
+
+class TestUtilization:
+    def test_bank_utilization(self):
+        log = make_log(
+            [
+                CommandEvent(0, SDRAMCommand.ACTIVATE, 0, row=0),
+                CommandEvent(2, SDRAMCommand.READ, 0, column=0),
+            ]
+        )
+        idle = CommandLog()
+        assert bank_utilization([log, idle], total_cycles=4) == [0.5, 0.0]
+
+    def test_zero_cycles(self):
+        assert bank_utilization([CommandLog()], 0) == [0.0]

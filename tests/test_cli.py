@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--kernel", "nope"])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "12"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "num_banks" in out
+        assert "16" in out
+
+    def test_run_point(self, capsys):
+        code = main(
+            [
+                "run",
+                "--kernel",
+                "scale",
+                "--stride",
+                "19",
+                "--elements",
+                "128",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pva-sdram" in out
+        assert "cacheline-serial" in out
+        assert "vs best" in out
+
+    def test_run_subset_of_systems(self, capsys):
+        code = main(
+            [
+                "run",
+                "--kernel",
+                "copy",
+                "--stride",
+                "4",
+                "--elements",
+                "64",
+                "--system",
+                "pva-sdram",
+                "--system",
+                "gathering-serial",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pva-sdram" in out
+        assert "cacheline-serial" not in out
+
+    def test_run_invalid_elements(self, capsys):
+        code = main(
+            ["run", "--kernel", "copy", "--stride", "1", "--elements", "100"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_figure_9_small(self, capsys):
+        assert main(["figure", "9", "--elements", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "cacheline norm" in out
+        assert "tridiag" in out
+
+    def test_ablation_bypass(self, capsys):
+        assert main(["ablation", "bypass"]) == 0
+        out = capsys.readouterr().out
+        assert "saved cycles" in out
+
+    def test_complexity(self, capsys):
+        assert main(["complexity"]) == 0
+        out = capsys.readouterr().out
+        assert "Paper Table 1" in out
+        assert "2048" in out
+
+    def test_sweep(self, capsys):
+        assert main(
+            ["sweep", "--kernel", "scale", "--max-stride", "4",
+             "--elements", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "banks hit" in out
+        assert out.count("\n") >= 5  # header + rule + 4 strides
+
+    def test_sweep_invalid_elements(self, capsys):
+        assert main(["sweep", "--elements", "65"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_all_artifacts(self, tmp_path, capsys):
+        assert main(
+            ["all", "--out", str(tmp_path), "--elements", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "artifacts" in out
+        names = {p.name for p in tmp_path.glob("*.txt")}
+        assert "figure7.txt" in names
+        assert "headline.txt" in names
+        assert "ablation_row_policy.txt" in names
+        assert len(names) >= 12

@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            if name == "ReproError":
+                continue
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_timing_violation_is_scheduling_error(self):
+        assert issubclass(errors.TimingViolation, errors.SchedulingError)
+
+    def test_catch_all(self):
+        """A single except clause covers every library failure."""
+        with pytest.raises(errors.ReproError):
+            raise errors.VectorSpecError("bad vector")
+        with pytest.raises(errors.ReproError):
+            raise errors.TimingViolation("tRP violated")
+
+    def test_exports_are_complete(self):
+        declared = set(errors.__all__)
+        defined = {
+            name
+            for name, value in vars(errors).items()
+            if isinstance(value, type) and issubclass(value, Exception)
+        }
+        assert declared == defined

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run cleanly via the public API.
+
+The heavier sweeps are exercised at reduced scale elsewhere; here we run
+the scripts exactly as a user would, asserting a zero exit and the
+expected headline output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def run_example(path):
+    return subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_directory_populated():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    result = run_example(path)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_speedups():
+    result = run_example(
+        pathlib.Path(__file__).resolve().parent.parent
+        / "examples"
+        / "quickstart.py"
+    )
+    assert "PVA-SDRAM" in result.stdout
+    assert "x" in result.stdout  # speedup column

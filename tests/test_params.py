@@ -1,0 +1,112 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import (
+    SDRAMTiming,
+    SRAMTiming,
+    SystemParams,
+    is_power_of_two,
+    log2_exact,
+)
+
+
+class TestHelpers:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(12)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(16) == 4
+        with pytest.raises(ConfigurationError):
+            log2_exact(12)
+
+
+class TestSDRAMTiming:
+    def test_paper_defaults(self):
+        timing = SDRAMTiming()
+        assert timing.t_rcd == 2
+        assert timing.cas_latency == 2
+        assert timing.internal_banks == 4
+        assert timing.row_words == 512
+
+    def test_row_miss_penalty(self):
+        assert SDRAMTiming().row_miss_penalty == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SDRAMTiming(t_rcd=0)
+        with pytest.raises(ConfigurationError):
+            SDRAMTiming(internal_banks=3)
+        with pytest.raises(ConfigurationError):
+            SDRAMTiming(row_words=500)
+        with pytest.raises(ConfigurationError):
+            SDRAMTiming(t_wr=-1)
+
+
+class TestSRAMTiming:
+    def test_default(self):
+        assert SRAMTiming().access_cycles == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SRAMTiming(access_cycles=0)
+
+
+class TestSystemParams:
+    def test_prototype_defaults(self):
+        params = SystemParams()
+        assert params.num_banks == 16
+        assert params.bank_bits == 4
+        assert params.cache_line_words == 32
+        assert params.line_bytes == 128
+        assert params.max_transactions == 8
+        assert params.num_vector_contexts == 4
+        assert params.stage_cycles == 16
+        assert params.max_vector_length == 32
+        assert params.row_policy == "paper"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemParams(num_banks=12)
+        with pytest.raises(ConfigurationError):
+            SystemParams(cache_line_words=33)
+        with pytest.raises(ConfigurationError):
+            SystemParams(max_transactions=0)
+        with pytest.raises(ConfigurationError):
+            SystemParams(max_transactions=9)  # 3-bit transaction id
+        with pytest.raises(ConfigurationError):
+            SystemParams(num_vector_contexts=0)
+        with pytest.raises(ConfigurationError):
+            SystemParams(request_fifo_depth=4)  # < max_transactions
+        with pytest.raises(ConfigurationError):
+            SystemParams(fhc_latency=0)
+        with pytest.raises(ConfigurationError):
+            SystemParams(bus_turnaround=-1)
+        with pytest.raises(ConfigurationError):
+            SystemParams(issue_interval=-1)
+
+    def test_issue_interval_defaults_to_infinitely_fast_cpu(self):
+        assert SystemParams().issue_interval == 0
+
+    def test_refresh_validation(self):
+        with pytest.raises(ConfigurationError):
+            SDRAMTiming(refresh_interval=-1)
+        with pytest.raises(ConfigurationError):
+            SDRAMTiming(t_rfc=0)
+
+    def test_with_banks(self):
+        params = SystemParams().with_banks(8)
+        assert params.num_banks == 8
+        assert params.cache_line_words == 32  # everything else preserved
+
+    def test_describe(self):
+        description = SystemParams().describe()
+        assert description["num_banks"] == 16
+        assert description["stage_cycles"] == 16
+        assert description["t_rcd"] == 2

@@ -1,0 +1,87 @@
+"""Unit tests for the vector-bus occupancy model."""
+
+import pytest
+
+from repro.bus.vector_bus import VectorBus
+from repro.errors import ProtocolError
+from repro.params import SystemParams
+
+PROTO = SystemParams()  # stage_cycles = 16, turnaround = 1
+
+
+@pytest.fixture
+def bus():
+    return VectorBus(PROTO)
+
+
+class TestRequests:
+    def test_single_request_cycle(self, bus):
+        assert bus.is_free(0)
+        end = bus.broadcast_request(0)
+        assert end == 1
+        assert not bus.is_free(0)
+        assert bus.is_free(1)
+
+    def test_multi_cycle_broadcast(self, bus):
+        end = bus.broadcast_request(0, request_cycles=17)
+        assert end == 17
+        assert bus.stats.request_cycles == 17
+
+    def test_double_claim_rejected(self, bus):
+        bus.broadcast_request(0, request_cycles=4)
+        with pytest.raises(ProtocolError):
+            bus.broadcast_request(2)
+
+
+class TestStaging:
+    def test_stage_read_occupancy(self, bus):
+        end = bus.stage_read(0)
+        assert end == 1 + PROTO.stage_cycles  # command + 16 data
+        assert bus.stats.data_cycles == 16
+        assert bus.stats.request_cycles == 1
+        assert bus.last_data_was_write is False
+
+    def test_stage_write_returns_broadcast_cycle(self, bus):
+        broadcast = bus.stage_write(0)
+        assert broadcast == 1 + PROTO.stage_cycles
+        assert bus.busy_until == broadcast + 1
+        assert bus.last_data_was_write is True
+
+    def test_no_turnaround_on_first_transfer(self, bus):
+        assert bus.stage_read(0) == 17
+        assert bus.stats.turnaround_cycles == 0
+
+    def test_turnaround_write_then_read(self, bus):
+        bus.stage_write(0)  # frees at 18
+        end = bus.stage_read(18)
+        assert end == 18 + 1 + 1 + 16  # cmd + turnaround + data
+        assert bus.stats.turnaround_cycles == 1
+
+    def test_turnaround_read_then_write(self, bus):
+        bus.stage_read(0)  # frees at 17
+        broadcast = bus.stage_write(17)
+        assert broadcast == 17 + 1 + 1 + 16
+        assert bus.stats.turnaround_cycles == 1
+
+    def test_no_turnaround_same_direction(self, bus):
+        bus.stage_read(0)
+        bus.stage_read(17)
+        assert bus.stats.turnaround_cycles == 0
+
+    def test_requests_do_not_change_polarity(self, bus):
+        bus.stage_read(0)
+        bus.broadcast_request(17)
+        bus.stage_read(18)
+        assert bus.stats.turnaround_cycles == 0
+
+
+class TestStats:
+    def test_accumulation(self, bus):
+        bus.broadcast_request(0)
+        bus.stage_read(1)
+        bus.stage_write(18)
+        stats = bus.stats
+        # requests: 1 (broadcast) + 1 (STAGE_READ) + 2 (STAGE_WRITE + VEC_WRITE)
+        assert stats.request_cycles == 4
+        assert stats.data_cycles == 32
+        assert stats.turnaround_cycles == 1

@@ -1,0 +1,113 @@
+"""Tests for the matrix-walk workload generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.types import AccessType
+from repro.workloads.matrix import (
+    MatrixLayout,
+    column_walk,
+    diagonal_walk,
+    matrix_vector_by_diagonals,
+    row_walk,
+    transpose,
+)
+
+PROTO = SystemParams()
+
+
+@pytest.fixture
+def matrix():
+    return MatrixLayout(base=0, rows=64, cols=48)
+
+
+class TestLayout:
+    def test_addressing(self, matrix):
+        assert matrix.address(0, 0) == 0
+        assert matrix.address(1, 0) == 48
+        assert matrix.address(2, 5) == 101
+        assert matrix.words == 64 * 48
+
+    def test_bounds(self, matrix):
+        with pytest.raises(ConfigurationError):
+            matrix.address(64, 0)
+        with pytest.raises(ConfigurationError):
+            matrix.address(0, 48)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MatrixLayout(base=-1, rows=2, cols=2)
+        with pytest.raises(ConfigurationError):
+            MatrixLayout(base=0, rows=0, cols=2)
+
+
+class TestWalks:
+    def test_row_walk_unit_stride(self, matrix):
+        commands = row_walk(matrix, row=3, params=PROTO)
+        assert all(c.vector.stride == 1 for c in commands)
+        assert sum(c.vector.length for c in commands) == 48
+        assert commands[0].vector.base == matrix.address(3, 0)
+
+    def test_column_walk_stride_is_width(self, matrix):
+        commands = column_walk(matrix, col=7, params=PROTO)
+        assert all(c.vector.stride == 48 for c in commands)
+        assert sum(c.vector.length for c in commands) == 64
+
+    def test_diagonal_walk_stride(self, matrix):
+        commands = diagonal_walk(matrix, params=PROTO)
+        assert all(c.vector.stride == 49 for c in commands)
+        assert sum(c.vector.length for c in commands) == 48
+
+    def test_column_walk_gathers_correct_data(self, matrix):
+        system = PVAMemorySystem(PROTO)
+        for r in range(matrix.rows):
+            for c in range(matrix.cols):
+                system.poke(matrix.address(r, c), r * 100 + c)
+        commands = column_walk(matrix, col=9, params=PROTO)
+        result = system.run(commands, capture_data=True)
+        column = [v for line in result.read_lines for v in line]
+        assert column == [r * 100 + 9 for r in range(matrix.rows)]
+
+
+class TestTranspose:
+    def test_dimension_check(self, matrix):
+        bad = MatrixLayout(base=10_000, rows=64, cols=48)
+        with pytest.raises(ConfigurationError):
+            transpose(matrix, bad, params=PROTO)
+
+    def test_transpose_functional(self):
+        source = MatrixLayout(base=0, rows=32, cols=32)
+        destination = MatrixLayout(base=1 << 16, rows=32, cols=32)
+        system = PVAMemorySystem(PROTO)
+        for r in range(32):
+            for c in range(32):
+                system.poke(source.address(r, c), r * 1000 + c)
+        # Writes in the transpose trace carry the gathered data in a real
+        # controller; here the trace uses placeholder data, so check the
+        # *structure*: reads of row r pair with writes of column r.
+        commands = transpose(source, destination, params=PROTO)
+        assert len(commands) == 64  # 32 rows x (1 read + 1 write chunk)
+        assert commands[0].access is AccessType.READ
+        assert commands[1].access is AccessType.WRITE
+        assert commands[1].vector.stride == 32
+        result = PVAMemorySystem(PROTO).run(commands)
+        assert result.commands == 64
+
+
+class TestMatrixVectorByDiagonals:
+    def test_command_pattern_is_vaxpy(self, matrix):
+        commands = matrix_vector_by_diagonals(
+            matrix, x_base=1 << 17, y_base=1 << 18, diagonals=3, params=PROTO
+        )
+        # Per diagonal and per chunk: read diag, read x, read y, write y.
+        reads = sum(1 for c in commands if c.access is AccessType.READ)
+        writes = len(commands) - reads
+        assert reads == 3 * writes
+
+    def test_too_many_diagonals(self, matrix):
+        with pytest.raises(ConfigurationError):
+            matrix_vector_by_diagonals(
+                matrix, x_base=0, y_base=0, diagonals=49, params=PROTO
+            )

@@ -1,0 +1,88 @@
+"""Tests for the seeded random trace generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import SystemParams
+from repro.pva.system import PVAMemorySystem
+from repro.types import ExplicitCommand, VectorCommand
+from repro.workloads.random_traces import RandomTraceConfig, random_trace
+
+PROTO = SystemParams()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = random_trace(7, PROTO)
+        b = random_trace(7, PROTO)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert random_trace(1, PROTO) != random_trace(2, PROTO)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomTraceConfig(commands=0)
+        with pytest.raises(ConfigurationError):
+            RandomTraceConfig(write_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            RandomTraceConfig(explicit_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            RandomTraceConfig(max_stride=0)
+
+    def test_command_count(self):
+        trace = random_trace(
+            3, PROTO, RandomTraceConfig(commands=17)
+        )
+        assert len(trace) == 17
+
+    def test_all_reads_when_fraction_zero(self):
+        trace = random_trace(
+            5, PROTO, RandomTraceConfig(commands=40, write_fraction=0.0)
+        )
+        assert all(c.access.is_read for c in trace)
+
+    def test_explicit_fraction_one(self):
+        trace = random_trace(
+            5,
+            PROTO,
+            RandomTraceConfig(commands=20, explicit_fraction=1.0),
+        )
+        assert all(isinstance(c, ExplicitCommand) for c in trace)
+
+    def test_variable_lengths(self):
+        trace = random_trace(
+            11,
+            PROTO,
+            RandomTraceConfig(commands=60, full_lines=False),
+        )
+        lengths = {
+            c.length if isinstance(c, ExplicitCommand) else c.vector.length
+            for c in trace
+        }
+        assert len(lengths) > 3
+        assert max(lengths) <= PROTO.cache_line_words
+
+
+class TestRunnability:
+    def test_mixed_trace_runs_on_pva(self):
+        trace = random_trace(
+            99,
+            PROTO,
+            RandomTraceConfig(
+                commands=24, explicit_fraction=0.3, full_lines=False
+            ),
+        )
+        result = PVAMemorySystem(PROTO).run(trace, capture_data=True)
+        assert result.commands == 24
+        assert result.cycles > 0
+        reads = sum(1 for c in trace if c.access.is_read)
+        assert len(result.read_lines) == reads
+
+    def test_write_commands_carry_data(self):
+        trace = random_trace(
+            4, PROTO, RandomTraceConfig(commands=50, write_fraction=1.0)
+        )
+        assert all(c.data is not None for c in trace)
