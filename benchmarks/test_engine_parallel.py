@@ -1,0 +1,49 @@
+"""Engine acceptance at full evaluation size: the Figure-7 grid through
+``jobs=4`` must be identical to the serial path, and a warm re-run must
+replay from the result cache at a large speedup (>= 5x)."""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.engine import EngineHooks, ExperimentEngine
+from repro.experiments.grid import FIGURE7_KERNELS, run_grid
+
+
+class _Capture(EngineHooks):
+    def __init__(self):
+        self.summaries = []
+
+    def batch_complete(self, metrics):
+        self.summaries.append(metrics.summary())
+
+
+def test_figure7_grid_parallel_parity_and_cache(benchmark, tmp_path):
+    def serial():
+        return run_grid(
+            kernels=FIGURE7_KERNELS, engine=ExperimentEngine(jobs=1)
+        )
+
+    baseline = run_once(benchmark, serial)
+
+    hooks = _Capture()
+    cold_engine = ExperimentEngine(jobs=4, cache_dir=tmp_path, hooks=hooks)
+    cold_start = time.perf_counter()
+    cold = run_grid(kernels=FIGURE7_KERNELS, engine=cold_engine)
+    cold_elapsed = time.perf_counter() - cold_start
+
+    # Parallel execution is byte-identical to the serial path.
+    assert cold == baseline
+    assert hooks.summaries[-1]["simulated"] > 0
+    assert hooks.summaries[-1]["cache_hit_rate"] == 0.0
+    assert hooks.summaries[-1]["points_per_second"] > 0
+
+    warm_engine = ExperimentEngine(jobs=4, cache_dir=tmp_path, hooks=hooks)
+    warm_start = time.perf_counter()
+    warm = run_grid(kernels=FIGURE7_KERNELS, engine=warm_engine)
+    warm_elapsed = time.perf_counter() - warm_start
+
+    # The warm run replays every point from the cache, much faster.
+    assert warm == baseline
+    assert hooks.summaries[-1]["simulated"] == 0
+    assert hooks.summaries[-1]["cache_hit_rate"] == 1.0
+    assert cold_elapsed / warm_elapsed >= 5.0, (cold_elapsed, warm_elapsed)

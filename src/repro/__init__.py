@@ -10,24 +10,35 @@ The library provides:
   over parametric SDRAM/SRAM device models;
 * the paper's comparison systems (``repro.baselines``), kernels and trace
   generation (``repro.kernels``), and the experiment harness
-  (``repro.experiments``) regenerating every figure and table.
+  (``repro.experiments``) regenerating every figure and table;
+* the simulation facade (``repro.api``) and the parallel experiment
+  engine with result caching (``repro.engine``).
 
 Quick start::
 
-    from repro import (
-        PVAMemorySystem, SystemParams, kernel_by_name, build_trace,
-    )
+    from repro import simulate, SystemParams, kernel_by_name, build_trace
 
     params = SystemParams()                      # the paper's prototype
     trace = build_trace(kernel_by_name("copy"), stride=4, params=params)
-    result = PVAMemorySystem(params).run(trace)
+    result = simulate(trace, params, system="pva-sdram")
     print(result.cycles, result.summary())
+
+Constructing the memory-system classes directly
+(``PVAMemorySystem(params)`` and friends imported from the top level) is
+deprecated in favour of :func:`repro.api.build_system` /
+:func:`repro.api.simulate`; the old names keep working but emit a
+``DeprecationWarning``.
 """
 
-from repro.baselines import (
-    CacheLineSerialSDRAM,
-    GatheringSerialSDRAM,
-    make_pva_sram,
+import importlib
+import warnings
+
+from repro.api import (
+    available_systems,
+    build_system,
+    register_system,
+    simulate,
+    system_entry,
 )
 from repro.core import (
     NO_HIT,
@@ -38,15 +49,44 @@ from repro.core import (
     split_vector,
     subvectors_by_bank,
 )
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.kernels import ALIGNMENTS, KERNELS, build_trace, kernel_by_name
 from repro.params import SDRAMTiming, SRAMTiming, SystemParams
-from repro.pva import PVAMemorySystem
 from repro.sim import RunResult
 from repro.types import AccessType, Vector, VectorCommand
 from repro.vm import MMCTLB, PageMapping
 
 __version__ = "1.0.0"
+
+#: Old construction paths, kept as deprecation shims: top-level access
+#: resolves lazily (PEP 562) and points callers at the repro.api facade.
+_DEPRECATED_CONSTRUCTORS = {
+    "PVAMemorySystem": ("repro.pva", 'build_system("pva-sdram", params)'),
+    "CacheLineSerialSDRAM": (
+        "repro.baselines",
+        'build_system("cacheline-serial", params)',
+    ),
+    "GatheringSerialSDRAM": (
+        "repro.baselines",
+        'build_system("gathering-serial", params)',
+    ),
+    "make_pva_sram": ("repro.baselines", 'build_system("pva-sram", params)'),
+}
+
+
+def __getattr__(name):
+    if name in _DEPRECATED_CONSTRUCTORS:
+        module_name, replacement = _DEPRECATED_CONSTRUCTORS[name]
+        warnings.warn(
+            f"importing {name} from the top-level repro package is "
+            f"deprecated; use repro.api: {replacement} (or import the "
+            f"class from {module_name} directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AccessType",
@@ -55,6 +95,11 @@ __all__ = [
     "SystemParams",
     "SDRAMTiming",
     "SRAMTiming",
+    "simulate",
+    "build_system",
+    "register_system",
+    "available_systems",
+    "system_entry",
     "PVAMemorySystem",
     "CacheLineSerialSDRAM",
     "GatheringSerialSDRAM",
@@ -74,5 +119,6 @@ __all__ = [
     "MMCTLB",
     "PageMapping",
     "ReproError",
+    "ConfigurationError",
     "__version__",
 ]

@@ -6,6 +6,10 @@ Subcommands
     Print the prototype configuration.
 ``run``
     Run one kernel/stride/alignment point on one or more memory systems.
+``grid``
+    Run any (sub-)grid of the section-6.2 evaluation through the
+    parallel experiment engine (``--jobs N``) with optional result
+    caching (``--cache DIR``).
 ``figure``
     Regenerate one of the paper's figures (7, 8, 9, 10, 11).
 ``ablation``
@@ -17,7 +21,8 @@ Subcommands
 Examples::
 
     python -m repro run --kernel copy --stride 19
-    python -m repro figure 9 --elements 256
+    python -m repro grid --jobs 4 --cache .engine-cache
+    python -m repro figure 9 --elements 256 --jobs 4
     python -m repro ablation row-policy
 """
 
@@ -27,6 +32,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api import available_systems
+from repro.engine import EngineHooks, ExperimentEngine
 from repro.errors import ConfigurationError
 from repro.experiments.ablations import (
     ablate_bank_scaling,
@@ -35,41 +42,62 @@ from repro.experiments.ablations import (
     ablate_vector_contexts,
 )
 from repro.experiments.complexity import complexity_table
-from repro.experiments.figures import (
-    figure7,
-    figure8,
-    figure9,
-    figure10,
-    figure11,
-)
+from repro.experiments.figures import FIGURE_GRIDS, run_figure
 from repro.experiments.grid import (
     EVAL_KERNELS,
-    FIGURE7_KERNELS,
-    FIGURE8_KERNELS,
-    SYSTEMS,
+    EVAL_STRIDES,
     run_grid,
     run_point,
 )
 from repro.experiments.report import format_table
-from repro.kernels import ALIGNMENTS
+from repro.kernels import ALIGNMENTS, alignment_by_name
 from repro.params import SystemParams
 
 __all__ = ["main", "build_parser"]
 
-_FIGURES = {
-    "7": (figure7, dict(kernels=FIGURE7_KERNELS)),
-    "8": (figure8, dict(kernels=FIGURE8_KERNELS)),
-    "9": (figure9, dict(strides=(1, 4))),
-    "10": (figure10, dict(strides=(8, 16, 19))),
-    "11": (figure11, dict(kernels=("vaxpy",), systems=("pva-sdram", "pva-sram"))),
+_ABLATIONS = {
+    "row-policy": ablate_row_policy,
+    "vector-contexts": ablate_vector_contexts,
+    "bypass": ablate_bypass_paths,
+    "banks": ablate_bank_scaling,
 }
 
-_ABLATIONS = {
-    "row-policy": lambda: ablate_row_policy(),
-    "vector-contexts": lambda: ablate_vector_contexts(),
-    "bypass": lambda: ablate_bypass_paths(),
-    "banks": lambda: ablate_bank_scaling(),
-}
+
+class _MetricsLine(EngineHooks):
+    """Prints the engine's throughput/caching summary after each batch
+    (to stderr, keeping result tables clean on stdout)."""
+
+    def batch_complete(self, metrics):
+        print(
+            f"[engine] {metrics.points_done} points "
+            f"({metrics.simulated} simulated, "
+            f"cache hit rate {metrics.cache_hit_rate:.0%}) "
+            f"in {metrics.elapsed_seconds:.2f}s — "
+            f"{metrics.points_per_second:.1f} points/s, "
+            f"{metrics.jobs} job{'s' if metrics.jobs != 1 else ''}",
+            file=sys.stderr,
+        )
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment engine (default: 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="directory for the content-addressed result cache",
+    )
+
+
+def _engine_from(args: argparse.Namespace) -> ExperimentEngine:
+    return ExperimentEngine(
+        jobs=args.jobs, cache_dir=args.cache, hooks=_MetricsLine()
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,18 +126,51 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--system",
         action="append",
-        choices=sorted(SYSTEMS),
+        choices=sorted(available_systems()),
         help="memory system(s) to run (default: all four)",
     )
+
+    grid_parser = sub.add_parser(
+        "grid",
+        help="run a (sub-)grid of the evaluation through the engine",
+    )
+    grid_parser.add_argument(
+        "--kernel",
+        action="append",
+        choices=sorted(EVAL_KERNELS),
+        help="kernel(s) to run (default: all eight)",
+    )
+    grid_parser.add_argument(
+        "--stride",
+        action="append",
+        type=int,
+        help="stride(s) to run (default: 1 2 4 8 16 19)",
+    )
+    grid_parser.add_argument(
+        "--alignment",
+        action="append",
+        choices=[a.name for a in ALIGNMENTS],
+        help="alignment(s) to run (default: all five)",
+    )
+    grid_parser.add_argument(
+        "--system",
+        action="append",
+        choices=sorted(available_systems()),
+        help="memory system(s) to run (default: all four)",
+    )
+    grid_parser.add_argument("--elements", type=int, default=1024)
+    _add_engine_options(grid_parser)
 
     figure_parser = sub.add_parser(
         "figure", help="regenerate one of the paper's figures"
     )
-    figure_parser.add_argument("number", choices=sorted(_FIGURES))
+    figure_parser.add_argument("number", choices=sorted(FIGURE_GRIDS))
     figure_parser.add_argument("--elements", type=int, default=1024)
+    _add_engine_options(figure_parser)
 
     ablation_parser = sub.add_parser("ablation", help="run an ablation sweep")
     ablation_parser.add_argument("name", choices=sorted(_ABLATIONS))
+    _add_engine_options(ablation_parser)
 
     sub.add_parser(
         "complexity", help="print the Table 1 complexity comparison"
@@ -129,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     all_parser.add_argument("--out", default="results")
     all_parser.add_argument("--elements", type=int, default=1024)
+    _add_engine_options(all_parser)
     return parser
 
 
@@ -140,8 +202,8 @@ def _cmd_info() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    alignment = next(a for a in ALIGNMENTS if a.name == args.alignment)
-    systems = tuple(args.system) if args.system else tuple(SYSTEMS)
+    alignment = alignment_by_name(args.alignment)
+    systems = tuple(args.system) if args.system else available_systems()
     try:
         cycles = run_point(
             args.kernel,
@@ -166,25 +228,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_grid(args: argparse.Namespace) -> int:
+    kernels = tuple(args.kernel) if args.kernel else EVAL_KERNELS
+    strides = tuple(args.stride) if args.stride else EVAL_STRIDES
+    alignments = (
+        tuple(alignment_by_name(name) for name in args.alignment)
+        if args.alignment
+        else None
+    )
+    systems = tuple(args.system) if args.system else available_systems()
+    try:
+        grid = run_grid(
+            kernels=kernels,
+            strides=strides,
+            alignments=alignments,
+            elements=args.elements,
+            systems=systems,
+            engine=_engine_from(args),
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    headers = ("kernel", "stride", "alignment") + tuple(grid.systems)
+    rows = [
+        (kernel, stride, alignment)
+        + tuple(point[name] for name in grid.systems)
+        for (kernel, stride, alignment), point in grid.cycles.items()
+    ]
+    print(format_table(headers, rows))
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
-    generator, grid_kwargs = _FIGURES[args.number]
-    grid = run_grid(elements=args.elements, **grid_kwargs)
-    fig = generator(grid)
+    fig = run_figure(args.number, args.elements, _engine_from(args))
     print(fig.text)
     return 0
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    _, text = _ABLATIONS[args.name]()
+    _, text = _ABLATIONS[args.name](engine=_engine_from(args))
     print(text)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.baselines.cacheline_serial import CacheLineSerialSDRAM
+    from repro.api import simulate
     from repro.core.decode import decompose_stride
     from repro.kernels import build_trace, kernel_by_name
-    from repro.pva import PVAMemorySystem
 
     params = SystemParams()
     rows = []
@@ -196,8 +286,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 params=params,
                 elements=args.elements,
             )
-            pva = PVAMemorySystem(params).run(trace).cycles
-            serial = CacheLineSerialSDRAM(params).run(trace).cycles
+            pva = simulate(trace, params, system="pva-sdram").cycles
+            serial = simulate(trace, params, system="cacheline-serial").cycles
             rows.append(
                 (
                     stride,
@@ -225,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_info()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "grid":
+        return _cmd_grid(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "ablation":
@@ -237,8 +329,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "all":
         from repro.experiments.report_all import generate_all
 
+        engine = _engine_from(args)
         written = generate_all(
-            out_dir=args.out, elements=args.elements, progress=print
+            out_dir=args.out,
+            elements=args.elements,
+            progress=print,
+            engine=engine,
         )
         print(f"{len(written)} artifacts in {args.out}/")
         return 0

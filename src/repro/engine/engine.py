@@ -1,0 +1,189 @@
+"""The parallel experiment engine.
+
+``ExperimentEngine.run`` takes a batch of :class:`ExperimentPoint` specs
+and returns their cycle counts **in submission order**, regardless of
+how many worker processes execute them — results are keyed by index, so
+``jobs=1`` and ``jobs=N`` produce identical output.  Three layers sit
+between a submitted point and a simulation:
+
+1. **Result cache** — with a ``cache_dir``, each point's content address
+   (:func:`repro.engine.spec.point_key`) is looked up first; warm runs of
+   a figure or ablation replay from disk instead of re-simulating.
+2. **Coalescing** — identical points inside one batch (the grid runner
+   submits alignment-free baselines once per alignment) share a single
+   execution.
+3. **Worker pool** — remaining unique points fan out over a
+   ``multiprocessing`` pool.  Workers rebuild trace and system from the
+   spec, so no simulator state crosses the process boundary; the fork
+   start method is preferred (cheap, inherits ``sys.path``) with spawn
+   as the portable fallback.
+
+Progress and throughput are surfaced through the
+:class:`~repro.engine.metrics.EngineHooks` callback interface.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api import build_system
+from repro.engine.cache import ResultCache
+from repro.engine.metrics import EngineHooks, EngineMetrics, PointOutcome
+from repro.engine.spec import (
+    ExperimentPoint,
+    build_point_trace,
+    default_salt,
+    point_key,
+)
+
+__all__ = ["ExperimentEngine", "execute_point"]
+
+
+def execute_point(point: ExperimentPoint) -> int:
+    """Simulate one point and return its cycle count.
+
+    Module-level so it pickles by reference into pool workers; also the
+    single-process execution path, keeping both modes byte-identical.
+    """
+    trace = build_point_trace(point)
+    system = build_system(point.system, point.params)
+    return system.run(trace).cycles
+
+
+def _pool_context():
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ExperimentEngine:
+    """Executes experiment-point batches with caching and a worker pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 (the default) runs inline in this process.
+    cache_dir:
+        Directory for the content-addressed result cache; None disables
+        caching.
+    hooks:
+        An :class:`EngineHooks` implementation receiving per-point
+        outcomes and batch summaries.
+    salt:
+        Cache-key salt; defaults to the library version plus the engine
+        schema version, so upgrading either invalidates stale entries.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir=None,
+        hooks: Optional[EngineHooks] = None,
+        salt: Optional[str] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.hooks = hooks if hooks is not None else EngineHooks()
+        self.salt = salt if salt is not None else default_salt()
+        self.metrics = EngineMetrics(jobs=self.jobs)
+
+    # ------------------------------------------------------------- #
+    # Execution
+    # ------------------------------------------------------------- #
+
+    def run(self, points: Sequence[ExperimentPoint]) -> List[int]:
+        """Execute a batch; return cycle counts in submission order."""
+        points = list(points)
+        metrics = self.metrics
+        metrics.points_total += len(points)
+        started = time.perf_counter()
+
+        results: List[Optional[int]] = [None] * len(points)
+        keys = [point_key(point, self.salt) for point in points]
+
+        # Cache lookups + in-batch coalescing, in submission order.
+        #: key -> indices awaiting that key's execution
+        waiting: Dict[str, List[int]] = {}
+        pending: List[Tuple[str, ExperimentPoint]] = []
+        for index, (key, point) in enumerate(zip(keys, points)):
+            if key in waiting:
+                waiting[key].append(index)
+                metrics.coalesced += 1
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                cycles = int(cached["cycles"])
+                results[index] = cycles
+                metrics.cache_hits += 1
+                metrics.points_done += 1
+                self.hooks.point_done(
+                    PointOutcome(index, point, cycles, cached=True), metrics
+                )
+                continue
+            waiting[key] = [index]
+            pending.append((key, point))
+
+        # Execute the unique misses, streaming results in a fixed order.
+        for key, point, cycles in self._execute(pending):
+            if self.cache is not None:
+                self.cache.put(
+                    key, {"cycles": cycles, "point": point.describe()}
+                )
+            indices = waiting.pop(key)
+            metrics.simulated += 1
+            for position, index in enumerate(indices):
+                results[index] = cycles
+                metrics.points_done += 1
+                self.hooks.point_done(
+                    PointOutcome(
+                        index,
+                        points[index],
+                        cycles,
+                        cached=False,
+                        coalesced=position > 0,
+                    ),
+                    metrics,
+                )
+
+        metrics.elapsed_seconds += time.perf_counter() - started
+        self.hooks.batch_complete(metrics)
+        assert all(cycles is not None for cycles in results)
+        return results  # type: ignore[return-value]
+
+    def _execute(self, pending):
+        """Yield ``(key, point, cycles)`` for unique points, in
+        first-submission order whatever the job count."""
+        if not pending:
+            return
+        if self.jobs == 1 or len(pending) == 1:
+            for key, point in pending:
+                yield key, point, execute_point(point)
+            return
+        context = _pool_context()
+        workers = min(self.jobs, len(pending))
+        chunksize = max(1, len(pending) // (workers * 4))
+        with context.Pool(processes=workers) as pool:
+            cycle_stream = pool.imap(
+                execute_point,
+                [point for _, point in pending],
+                chunksize=chunksize,
+            )
+            for (key, point), cycles in zip(pending, cycle_stream):
+                yield key, point, cycles
+
+    # ------------------------------------------------------------- #
+    # Convenience
+    # ------------------------------------------------------------- #
+
+    def run_one(self, point: ExperimentPoint) -> int:
+        """Execute a single point (through cache and hooks)."""
+        return self.run([point])[0]
+
+    def key_of(self, point: ExperimentPoint) -> str:
+        """The content address this engine uses for ``point``."""
+        return point_key(point, self.salt)

@@ -1,0 +1,110 @@
+"""Progress and throughput accounting for the experiment engine.
+
+The engine surfaces its state through a callback interface: pass an
+:class:`EngineHooks` subclass (or any object with the same methods) and
+it receives one :class:`PointOutcome` per requested point — carrying the
+per-point cycle count and whether it came from the cache — plus the
+running :class:`EngineMetrics` snapshot (points/sec, cache hit rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.spec import ExperimentPoint
+
+__all__ = ["PointOutcome", "EngineMetrics", "EngineHooks", "PrintProgress"]
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """The result of one requested point."""
+
+    index: int  #: position in the submitted batch
+    point: "ExperimentPoint"
+    cycles: int
+    cached: bool  #: served from the on-disk cache
+    coalesced: bool = False  #: shared another identical point's execution
+
+
+@dataclass
+class EngineMetrics:
+    """Running totals across every batch an engine instance has run."""
+
+    points_total: int = 0
+    points_done: int = 0
+    cache_hits: int = 0
+    simulated: int = 0  #: unique simulations actually executed
+    coalesced: int = 0  #: points served by an identical in-batch point
+    elapsed_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of completed points served from the on-disk cache."""
+        if self.points_done == 0:
+            return 0.0
+        return self.cache_hits / self.points_done
+
+    @property
+    def points_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.points_done / self.elapsed_seconds
+
+    def summary(self) -> dict:
+        return {
+            "points": self.points_done,
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "cache_hit_rate": round(self.cache_hit_rate, 3),
+            "points_per_second": round(self.points_per_second, 1),
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "jobs": self.jobs,
+        }
+
+
+class EngineHooks:
+    """Callback interface; the default implementation is a no-op.
+
+    Subclass and override what you need — both methods receive the live
+    :class:`EngineMetrics`, so a hook can render progress bars, log
+    throughput, or assert invariants mid-run.
+    """
+
+    def point_done(
+        self, outcome: PointOutcome, metrics: EngineMetrics
+    ) -> None:
+        """Called once per requested point, as its result lands."""
+
+    def batch_complete(self, metrics: EngineMetrics) -> None:
+        """Called after every :meth:`ExperimentEngine.run` batch."""
+
+
+class PrintProgress(EngineHooks):
+    """A minimal progress hook: one line per batch (and optionally per
+    point) through a ``print``-like callable."""
+
+    def __init__(self, emit=print, per_point: bool = False):
+        self.emit = emit
+        self.per_point = per_point
+
+    def point_done(self, outcome, metrics):
+        if self.per_point:
+            source = "cache" if outcome.cached else "sim"
+            self.emit(
+                f"[engine] {outcome.point.describe()}: "
+                f"{outcome.cycles} cycles ({source})"
+            )
+
+    def batch_complete(self, metrics):
+        self.emit(
+            f"[engine] {metrics.points_done}/{metrics.points_total} points, "
+            f"{metrics.simulated} simulated, "
+            f"cache hit rate {metrics.cache_hit_rate:.0%}, "
+            f"{metrics.points_per_second:.1f} points/s "
+            f"({metrics.jobs} job{'s' if metrics.jobs != 1 else ''})"
+        )

@@ -7,18 +7,26 @@ benchmark harness can both check invariants and print the series:
 * number of vector contexts (depth of the reordering window),
 * bypass paths on/off (single-request latency, section 5.2.3),
 * bank scaling (performance and PLA cost versus M, section 4.3.1).
+
+All sweeps submit their points through the experiment engine, so
+``engine=ExperimentEngine(jobs=N, cache_dir=...)`` parallelizes and
+caches any of them; the default is a private inline engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.pla import pla_product_terms
+from repro.engine import (
+    CommandTraceSpec,
+    ExperimentEngine,
+    ExperimentPoint,
+    KernelTraceSpec,
+)
 from repro.experiments.report import format_table
-from repro.kernels import ALIGNMENTS, build_trace, kernel_by_name
 from repro.params import SystemParams
-from repro.pva import PVAMemorySystem
 from repro.types import AccessType, Vector, VectorCommand
 
 __all__ = [
@@ -31,14 +39,33 @@ __all__ = [
 ]
 
 
-def _run(params: SystemParams, kernel: str, stride: int, elements: int) -> int:
-    trace = build_trace(
-        kernel_by_name(kernel),
-        stride=stride,
+def _engine(engine: Optional[ExperimentEngine]) -> ExperimentEngine:
+    return engine if engine is not None else ExperimentEngine()
+
+
+def _kernel_point(
+    params: SystemParams, kernel: str, stride: int, elements: int
+) -> ExperimentPoint:
+    return ExperimentPoint(
+        system="pva-sdram",
+        trace=KernelTraceSpec(kernel=kernel, stride=stride, elements=elements),
         params=params,
-        elements=elements,
     )
-    return PVAMemorySystem(params).run(trace).cycles
+
+
+def _single_read_point(
+    params: SystemParams, stride: int, label: str
+) -> ExperimentPoint:
+    """One isolated vector read into an idle PVA unit."""
+    command = VectorCommand(
+        vector=Vector(base=3, stride=stride, length=params.cache_line_words),
+        access=AccessType.READ,
+    )
+    return ExperimentPoint(
+        system="pva-sdram",
+        trace=CommandTraceSpec(commands=(command,), label=label),
+        params=params,
+    )
 
 
 def ablate_row_policy(
@@ -46,20 +73,24 @@ def ablate_row_policy(
     strides: Sequence[int] = (1, 16, 19),
     elements: int = 512,
     params: Optional[SystemParams] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Tuple[List[Tuple], str]:
     """Compare the four row-management policies."""
     base = params or SystemParams()
     policies = ("paper", "close", "open", "history")
-    rows: List[Tuple] = []
-    for kernel in kernels:
-        for stride in strides:
-            cycles = {
-                policy: _run(
-                    replace(base, row_policy=policy), kernel, stride, elements
-                )
-                for policy in policies
-            }
-            rows.append((kernel, stride) + tuple(cycles[p] for p in policies))
+    cases = [(kernel, stride) for kernel in kernels for stride in strides]
+    points = [
+        _kernel_point(
+            replace(base, row_policy=policy), kernel, stride, elements
+        )
+        for kernel, stride in cases
+        for policy in policies
+    ]
+    cycles = iter(_engine(engine).run(points))
+    rows: List[Tuple] = [
+        (kernel, stride) + tuple(next(cycles) for _ in policies)
+        for kernel, stride in cases
+    ]
     headers = ("kernel", "stride") + policies
     return rows, format_table(headers, rows)
 
@@ -70,18 +101,22 @@ def ablate_vector_contexts(
     context_counts: Sequence[int] = (1, 2, 4, 8),
     elements: int = 512,
     params: Optional[SystemParams] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Tuple[List[Tuple], str]:
     """Sweep the vector-context window depth."""
     base = params or SystemParams()
-    rows: List[Tuple] = []
-    for stride in strides:
-        cycles = {
-            n: _run(
-                replace(base, num_vector_contexts=n), kernel, stride, elements
-            )
-            for n in context_counts
-        }
-        rows.append((kernel, stride) + tuple(cycles[n] for n in context_counts))
+    points = [
+        _kernel_point(
+            replace(base, num_vector_contexts=n), kernel, stride, elements
+        )
+        for stride in strides
+        for n in context_counts
+    ]
+    cycles = iter(_engine(engine).run(points))
+    rows: List[Tuple] = [
+        (kernel, stride) + tuple(next(cycles) for _ in context_counts)
+        for stride in strides
+    ]
     headers = ("kernel", "stride") + tuple(
         f"{n} VC" for n in context_counts
     )
@@ -91,6 +126,7 @@ def ablate_vector_contexts(
 def ablate_bypass_paths(
     strides: Sequence[int] = (1, 7, 19),
     params: Optional[SystemParams] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Tuple[List[Tuple], str]:
     """Latency of a single vector read into an idle PVA unit, with and
     without the section-5.2.3 bypass paths.
@@ -100,22 +136,20 @@ def ablate_bypass_paths(
     of-two and non-power-of-two strides exercise the FHP and FHC paths).
     """
     base = params or SystemParams()
+    points = [
+        _single_read_point(
+            replace(base, bypass_paths=enabled),
+            stride,
+            f"bypass-{'on' if enabled else 'off'}/s{stride}",
+        )
+        for stride in strides
+        for enabled in (True, False)
+    ]
+    cycles = iter(_engine(engine).run(points))
     rows: List[Tuple] = []
     for stride in strides:
-        command = VectorCommand(
-            vector=Vector(base=3, stride=stride, length=base.cache_line_words),
-            access=AccessType.READ,
-        )
-        with_bypass = (
-            PVAMemorySystem(replace(base, bypass_paths=True))
-            .run([command])
-            .cycles
-        )
-        without = (
-            PVAMemorySystem(replace(base, bypass_paths=False))
-            .run([command])
-            .cycles
-        )
+        with_bypass = next(cycles)
+        without = next(cycles)
         rows.append((stride, with_bypass, without, without - with_bypass))
     headers = ("stride", "with bypass", "without bypass", "saved cycles")
     return rows, format_table(headers, rows)
@@ -127,6 +161,7 @@ def ablate_subcommand_latency(
     latencies: Sequence[int] = (2, 5, 13),
     elements: int = 512,
     params: Optional[SystemParams] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Tuple[List[Tuple], str]:
     """Subcommand-generation latency: PVA vs CVMS-class hardware.
 
@@ -138,20 +173,22 @@ def ablate_subcommand_latency(
     entirely; it is bare single-request latency that pays.
     """
     base = params or SystemParams()
+    points: List[ExperimentPoint] = []
+    for stride in strides:
+        for latency in latencies:
+            p = replace(base, fhc_latency=latency)
+            points.append(_kernel_point(p, kernel, stride, elements))
+            points.append(
+                _single_read_point(p, stride, f"fhc{latency}/s{stride}")
+            )
+    cycles = iter(_engine(engine).run(points))
     rows: List[Tuple] = []
     for stride in strides:
         pipelined = {}
         single = {}
         for latency in latencies:
-            p = replace(base, fhc_latency=latency)
-            pipelined[latency] = _run(p, kernel, stride, elements)
-            command = VectorCommand(
-                vector=Vector(
-                    base=3, stride=stride, length=base.cache_line_words
-                ),
-                access=AccessType.READ,
-            )
-            single[latency] = PVAMemorySystem(p).run([command]).cycles
+            pipelined[latency] = next(cycles)
+            single[latency] = next(cycles)
         rows.append(
             (stride, "pipelined")
             + tuple(pipelined[latency] for latency in latencies)
@@ -172,25 +209,30 @@ def ablate_refresh(
     intervals: Sequence[int] = (0, 780, 200, 100),
     elements: int = 1024,
     params: Optional[SystemParams] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Tuple[List[Tuple], str]:
     """Auto-refresh tax versus refresh period (0 = disabled, the paper's
     implicit assumption; ~780 cycles is realistic for a 100 MHz part)."""
     base = params or SystemParams()
-    rows: List[Tuple] = []
-    baseline = None
-    for interval in intervals:
-        sdram = replace(base.sdram, refresh_interval=interval)
-        p = replace(base, sdram=sdram)
-        cycles = _run(p, kernel, stride, elements)
-        if baseline is None:
-            baseline = cycles
-        rows.append(
-            (
-                interval if interval else "off",
-                cycles,
-                f"{(cycles / baseline - 1) * 100:+.1f}%",
-            )
+    points = [
+        _kernel_point(
+            replace(base, sdram=replace(base.sdram, refresh_interval=interval)),
+            kernel,
+            stride,
+            elements,
         )
+        for interval in intervals
+    ]
+    cycles = _engine(engine).run(points)
+    baseline = cycles[0]
+    rows: List[Tuple] = [
+        (
+            interval if interval else "off",
+            count,
+            f"{(count / baseline - 1) * 100:+.1f}%",
+        )
+        for interval, count in zip(intervals, cycles)
+    ]
     headers = ("refresh interval", "cycles", "overhead")
     return rows, format_table(headers, rows)
 
@@ -201,6 +243,7 @@ def ablate_bank_scaling(
     banks: Sequence[int] = (4, 8, 16, 32),
     elements: int = 512,
     params: Optional[SystemParams] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Tuple[List[Tuple], str]:
     """Performance and PLA cost versus the number of banks.
 
@@ -211,17 +254,19 @@ def ablate_bank_scaling(
     bus-bound at every M and would show a flat line.
     """
     base = params or SystemParams()
-    rows: List[Tuple] = []
-    for m in banks:
-        p = replace(base, num_banks=m)
-        cycles = _run(p, kernel, stride, elements)
-        rows.append(
-            (
-                m,
-                cycles,
-                pla_product_terms(m, "k1"),
-                pla_product_terms(m, "full_ki"),
-            )
+    points = [
+        _kernel_point(replace(base, num_banks=m), kernel, stride, elements)
+        for m in banks
+    ]
+    cycles = _engine(engine).run(points)
+    rows: List[Tuple] = [
+        (
+            m,
+            count,
+            pla_product_terms(m, "k1"),
+            pla_product_terms(m, "full_ki"),
         )
+        for m, count in zip(banks, cycles)
+    ]
     headers = ("banks", "cycles", "K1 PLA terms", "full-Ki PLA terms")
     return rows, format_table(headers, rows)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.decode import decompose_stride
+from repro.engine import ExperimentEngine
 from repro.experiments.grid import GridResults, run_grid
 from repro.experiments.report import format_table
 
@@ -36,14 +37,20 @@ def alignment_study(
     strides: Optional[Sequence[int]] = None,
     elements: int = 512,
     grid: Optional[GridResults] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Tuple[List[Tuple], str]:
-    """Run (or reuse) a grid and tabulate alignment sensitivity."""
+    """Run (or reuse) a grid and tabulate alignment sensitivity.
+
+    The sweep submits its points through ``engine`` (parallelism and
+    result caching); a private inline engine is used by default.
+    """
     if grid is None:
         grid = run_grid(
             kernels=kernels or ("copy", "scale", "swap", "tridiag", "vaxpy"),
             strides=strides or (1, 2, 4, 8, 16, 19),
             elements=elements,
             systems=("pva-sdram",),
+            engine=engine,
         )
     rows: List[Tuple] = []
     for kernel in grid.kernels:

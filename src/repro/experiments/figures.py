@@ -16,17 +16,22 @@ printable table.  Conventions follow the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.engine import ExperimentEngine
+from repro.errors import ConfigurationError
 from repro.experiments.grid import (
     FIGURE7_KERNELS,
     FIGURE8_KERNELS,
     GridResults,
+    run_grid,
 )
 from repro.experiments.report import format_percent, format_table
 
 __all__ = [
     "FigureSeries",
+    "FIGURE_GRIDS",
+    "run_figure",
     "figure7",
     "figure8",
     "figure9",
@@ -208,3 +213,36 @@ def figure11(grid: GridResults, kernel: str = "vaxpy") -> FigureSeries:
         rows=rows,
         text=format_table(headers, rows),
     )
+
+
+#: The (sub-)grid each figure needs: ``{number: (generator, grid kwargs)}``.
+FIGURE_GRIDS = {
+    "7": (figure7, dict(kernels=FIGURE7_KERNELS)),
+    "8": (figure8, dict(kernels=FIGURE8_KERNELS)),
+    "9": (figure9, dict(strides=(1, 4))),
+    "10": (figure10, dict(strides=(8, 16, 19))),
+    "11": (
+        figure11,
+        dict(kernels=("vaxpy",), systems=("pva-sdram", "pva-sram")),
+    ),
+}
+
+
+def run_figure(
+    number: str,
+    elements: int = 1024,
+    engine: Optional[ExperimentEngine] = None,
+) -> FigureSeries:
+    """Run the grid one of the paper's figures needs and generate it.
+
+    The grid is submitted through ``engine`` (parallel execution and
+    result caching); a private inline engine is used by default.
+    """
+    try:
+        generator, grid_kwargs = FIGURE_GRIDS[str(number)]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown figure {number!r}; available: {sorted(FIGURE_GRIDS)}"
+        ) from None
+    grid = run_grid(elements=elements, engine=engine, **grid_kwargs)
+    return generator(grid)

@@ -5,32 +5,41 @@ the unrolled copy2/scale2), six strides {1, 2, 4, 8, 16, 19}, and five
 relative vector alignments.  ``run_grid`` executes any sub-grid and returns
 a :class:`GridResults` that the figure generators slice.
 
+Execution goes through the parallel experiment engine
+(:class:`repro.engine.ExperimentEngine`): pass ``jobs=N`` to fan the
+points over a worker pool and ``cache_dir=...`` to replay repeated runs
+from the content-addressed result cache.  The default (``jobs=1``, no
+cache) runs inline and is byte-identical to the historical serial loop.
+
 The serial baselines are alignment-independent (their cost model sees only
 addresses-per-command), so they are evaluated once per (kernel, stride)
-and reused across alignments.
+and shared across alignments — expressed by submitting those points with
+the grid's first alignment and letting the engine coalesce duplicates.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.baselines import (
-    CacheLineSerialSDRAM,
-    GatheringSerialSDRAM,
-    make_pva_sram,
+from repro.api import available_systems, system_entry
+from repro.engine import (
+    EngineHooks,
+    ExperimentEngine,
+    ExperimentPoint,
+    KernelTraceSpec,
 )
 from repro.errors import ConfigurationError
-from repro.kernels import ALIGNMENTS, Alignment, build_trace, kernel_by_name
+from repro.kernels import ALIGNMENTS, Alignment, alignment_by_name
 from repro.params import SystemParams
-from repro.pva import PVAMemorySystem
 
 __all__ = [
     "EVAL_STRIDES",
     "EVAL_KERNELS",
     "FIGURE7_KERNELS",
     "FIGURE8_KERNELS",
-    "SYSTEMS",
+    "SYSTEMS",  # deprecated alias of the repro.api registry
     "GridResults",
     "run_point",
     "run_grid",
@@ -55,16 +64,21 @@ EVAL_KERNELS: Tuple[str, ...] = (
 FIGURE7_KERNELS: Tuple[str, ...] = ("copy", "copy2", "saxpy", "scale")
 FIGURE8_KERNELS: Tuple[str, ...] = ("scale2", "swap", "tridiag", "vaxpy")
 
-#: Memory-system factories, keyed by the names used throughout results.
-SYSTEMS: Dict[str, Callable[[SystemParams], object]] = {
-    "pva-sdram": lambda p: PVAMemorySystem(p),
-    "pva-sram": lambda p: make_pva_sram(p),
-    "cacheline-serial": lambda p: CacheLineSerialSDRAM(p),
-    "gathering-serial": lambda p: GatheringSerialSDRAM(p),
-}
 
-#: Systems whose cycle counts do not depend on relative alignment.
-_ALIGNMENT_FREE = frozenset({"cacheline-serial", "gathering-serial"})
+def __getattr__(name: str):
+    if name == "SYSTEMS":
+        warnings.warn(
+            "repro.experiments.grid.SYSTEMS is deprecated; use the "
+            "repro.api registry (available_systems / build_system / "
+            "register_system) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            system: system_entry(system).factory
+            for system in available_systems()
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -118,13 +132,7 @@ class GridResults:
 
 
 def _alignment_by_name(name: str) -> Alignment:
-    for alignment in ALIGNMENTS:
-        if alignment.name == name:
-            return alignment
-    raise ConfigurationError(
-        f"unknown alignment {name!r}; available: "
-        f"{[a.name for a in ALIGNMENTS]}"
-    )
+    return alignment_by_name(name)
 
 
 def run_point(
@@ -134,22 +142,27 @@ def run_point(
     params: Optional[SystemParams] = None,
     elements: int = 1024,
     systems: Optional[Sequence[str]] = None,
+    *,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, int]:
     """Execute one grid point on the requested systems; return cycles."""
     params = params or SystemParams()
-    systems = tuple(systems or SYSTEMS)
-    trace = build_trace(
-        kernel_by_name(kernel),
-        stride=stride,
-        params=params,
-        elements=elements,
-        alignment=alignment,
-    )
-    out: Dict[str, int] = {}
-    for name in systems:
-        system = SYSTEMS[name](params)
-        out[name] = system.run(trace).cycles
-    return out
+    systems = tuple(systems or available_systems())
+    engine = engine if engine is not None else ExperimentEngine()
+    points = [
+        ExperimentPoint(
+            system=name,
+            trace=KernelTraceSpec(
+                kernel=kernel,
+                stride=stride,
+                alignment=alignment.name,
+                elements=elements,
+            ),
+            params=params,
+        )
+        for name in systems
+    ]
+    return dict(zip(systems, engine.run(points)))
 
 
 def run_grid(
@@ -159,18 +172,66 @@ def run_grid(
     params: Optional[SystemParams] = None,
     elements: int = 1024,
     systems: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
+    hooks: Optional[EngineHooks] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> GridResults:
-    """Execute a (sub-)grid of the evaluation.
+    """Execute a (sub-)grid of the evaluation through the engine.
 
     Fresh memory-system instances are built per point, so points are
-    independent; the alignment-free serial baselines are computed once per
-    (kernel, stride).
+    independent and safely parallelizable; the alignment-free serial
+    baselines are submitted under the grid's first alignment, so the
+    engine computes them once per (kernel, stride) and shares the result.
+
+    ``jobs``, ``cache_dir`` and ``hooks`` configure a private engine;
+    pass ``engine=`` instead to share one (and its cache and metrics)
+    across several grids.
     """
     params = params or SystemParams()
     kernels = tuple(kernels)
     strides = tuple(strides)
     alignment_objs = tuple(alignments if alignments is not None else ALIGNMENTS)
-    system_names = tuple(systems or SYSTEMS)
+    system_names = tuple(systems or available_systems())
+    if not alignment_objs:
+        raise ConfigurationError("run_grid needs at least one alignment")
+    engine = (
+        engine
+        if engine is not None
+        else ExperimentEngine(jobs=jobs, cache_dir=cache_dir, hooks=hooks)
+    )
+    alignment_free = {
+        name for name in system_names if system_entry(name).alignment_free
+    }
+    canonical_alignment = alignment_objs[0].name
+
+    points: List[ExperimentPoint] = []
+    slots: List[Tuple[str, int, str, str]] = []
+    for kernel in kernels:
+        for stride in strides:
+            for alignment in alignment_objs:
+                for name in system_names:
+                    submitted = (
+                        canonical_alignment
+                        if name in alignment_free
+                        else alignment.name
+                    )
+                    points.append(
+                        ExperimentPoint(
+                            system=name,
+                            trace=KernelTraceSpec(
+                                kernel=kernel,
+                                stride=stride,
+                                alignment=submitted,
+                                elements=elements,
+                            ),
+                            params=params,
+                        )
+                    )
+                    slots.append((kernel, stride, alignment.name, name))
+
+    cycles = engine.run(points)
     results = GridResults(
         params=params,
         elements=elements,
@@ -179,27 +240,8 @@ def run_grid(
         alignments=tuple(a.name for a in alignment_objs),
         systems=system_names,
     )
-    for kernel in kernels:
-        for stride in strides:
-            serial_cache: Dict[str, int] = {}
-            for alignment in alignment_objs:
-                point: Dict[str, int] = {}
-                trace = None
-                for name in system_names:
-                    if name in _ALIGNMENT_FREE and name in serial_cache:
-                        point[name] = serial_cache[name]
-                        continue
-                    if trace is None:
-                        trace = build_trace(
-                            kernel_by_name(kernel),
-                            stride=stride,
-                            params=params,
-                            elements=elements,
-                            alignment=alignment,
-                        )
-                    cycles = SYSTEMS[name](params).run(trace).cycles
-                    point[name] = cycles
-                    if name in _ALIGNMENT_FREE:
-                        serial_cache[name] = cycles
-                results.cycles[(kernel, stride, alignment.name)] = point
+    for (kernel, stride, alignment_name, name), count in zip(slots, cycles):
+        results.cycles.setdefault((kernel, stride, alignment_name), {})[
+            name
+        ] = count
     return results

@@ -25,11 +25,12 @@ baseline with per-element accounting to reproduce the paper's factor —
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.experiments.grid import GridResults
+from repro.engine import ExperimentEngine
+from repro.experiments.grid import GridResults, run_grid
 
-__all__ = ["HeadlineRatios", "headline_ratios"]
+__all__ = ["HeadlineRatios", "headline_ratios", "measure_headline"]
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,20 @@ class HeadlineRatios:
             ),
             "worst_sram_gap_pct": round(self.worst_sram_gap * 100, 1),
         }
+
+
+def measure_headline(
+    kernels: Sequence[str] = ("copy", "scale", "swap"),
+    elements: int = 1024,
+    engine: Optional[ExperimentEngine] = None,
+) -> HeadlineRatios:
+    """Run the grid the headline numbers need and extract the ratios.
+
+    Submits through ``engine`` (parallel execution and result caching);
+    the default is a private inline engine.
+    """
+    grid = run_grid(kernels=kernels, elements=elements, engine=engine)
+    return headline_ratios(grid)
 
 
 def headline_ratios(grid: GridResults) -> HeadlineRatios:

@@ -6,6 +6,12 @@ writes each series to ``<out_dir>/<name>.txt``.  This is the library-level
 equivalent of ``pytest benchmarks/ --benchmark-only`` without the
 benchmarking harness, exposed on the CLI as ``python -m repro all``.
 
+Every experiment submits its points through **one shared
+:class:`~repro.engine.ExperimentEngine`**: ``jobs=N`` fans the whole
+evaluation over a worker pool, ``cache_dir=...`` makes re-runs replay
+from the result cache, and the engine's aggregate metrics (points/sec,
+cache hit rate) are reported through ``progress`` at the end.
+
 ``elements`` scales the vector length (1024 = the paper's full size;
 smaller values give quick sanity passes).
 """
@@ -13,8 +19,9 @@ smaller values give quick sanity passes).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.engine import ExperimentEngine
 from repro.experiments.ablations import (
     ablate_bank_scaling,
     ablate_bypass_paths,
@@ -25,28 +32,16 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.alignment import alignment_study
 from repro.experiments.complexity import complexity_table
-from repro.experiments.figures import (
-    figure7,
-    figure8,
-    figure9,
-    figure10,
-    figure11,
-)
-from repro.experiments.grid import (
-    FIGURE7_KERNELS,
-    FIGURE8_KERNELS,
-    run_grid,
-)
-from repro.experiments.headline import headline_ratios
+from repro.experiments.figures import run_figure
+from repro.experiments.headline import measure_headline
 from repro.experiments.report import format_table
 from repro.params import SystemParams
 
 __all__ = ["generate_all"]
 
 
-def _headline_text(elements: int) -> str:
-    grid = run_grid(kernels=("copy", "scale", "swap"), elements=elements)
-    summary = headline_ratios(grid).summary()
+def _headline_text(elements: int, engine: ExperimentEngine) -> str:
+    summary = measure_headline(elements=elements, engine=engine).summary()
     rows = [(key, value) for key, value in summary.items()]
     return format_table(("quantity", "measured"), rows)
 
@@ -55,14 +50,24 @@ def generate_all(
     out_dir: Union[str, Path] = "results",
     elements: int = 1024,
     progress: Callable[[str], None] = lambda message: None,
+    jobs: int = 1,
+    cache_dir=None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, Path]:
     """Regenerate every artifact; return ``{name: path}``.
 
-    ``progress`` receives a line per artifact (the CLI prints them).
+    ``progress`` receives a line per artifact (the CLI prints them);
+    engine throughput/caching metrics stay readable on the engine you
+    pass in (``engine.metrics``).
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     written: Dict[str, Path] = {}
+    engine = (
+        engine
+        if engine is not None
+        else ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
+    )
 
     def emit(name: str, text: str) -> None:
         path = out / f"{name}.txt"
@@ -70,36 +75,40 @@ def generate_all(
         written[name] = path
         progress(f"wrote {path}")
 
-    grid7 = run_grid(kernels=FIGURE7_KERNELS, elements=elements)
-    emit("figure7", figure7(grid7).text)
-    grid8 = run_grid(kernels=FIGURE8_KERNELS, elements=elements)
-    emit("figure8", figure8(grid8).text)
-    grid_fixed_low = run_grid(strides=(1, 4), elements=elements)
-    emit("figure9", figure9(grid_fixed_low).text)
-    grid_fixed_high = run_grid(strides=(8, 16, 19), elements=elements)
-    emit("figure10", figure10(grid_fixed_high).text)
-    grid_vaxpy = run_grid(
-        kernels=("vaxpy",),
-        systems=("pva-sdram", "pva-sram"),
-        elements=elements,
-    )
-    emit("figure11", figure11(grid_vaxpy, kernel="vaxpy").text)
+    for number in ("7", "8", "9", "10", "11"):
+        emit(f"figure{number}", run_figure(number, elements, engine).text)
 
     emit("table1", complexity_table(SystemParams()))
-    emit("headline", _headline_text(elements))
+    emit("headline", _headline_text(elements, engine))
 
+    small = min(elements, 512)
     ablations: List[Tuple[str, Callable[[], Tuple[list, str]]]] = [
-        ("ablation_row_policy", lambda: ablate_row_policy(elements=min(elements, 512))),
-        ("ablation_vector_contexts", lambda: ablate_vector_contexts(elements=min(elements, 512))),
-        ("ablation_bypass", ablate_bypass_paths),
-        ("ablation_bank_scaling", lambda: ablate_bank_scaling(elements=min(elements, 512))),
-        ("ablation_subcommand_latency", lambda: ablate_subcommand_latency(elements=min(elements, 512))),
-        ("ablation_refresh", lambda: ablate_refresh(elements=elements)),
+        (
+            "ablation_row_policy",
+            lambda: ablate_row_policy(elements=small, engine=engine),
+        ),
+        (
+            "ablation_vector_contexts",
+            lambda: ablate_vector_contexts(elements=small, engine=engine),
+        ),
+        ("ablation_bypass", lambda: ablate_bypass_paths(engine=engine)),
+        (
+            "ablation_bank_scaling",
+            lambda: ablate_bank_scaling(elements=small, engine=engine),
+        ),
+        (
+            "ablation_subcommand_latency",
+            lambda: ablate_subcommand_latency(elements=small, engine=engine),
+        ),
+        (
+            "ablation_refresh",
+            lambda: ablate_refresh(elements=elements, engine=engine),
+        ),
     ]
     for name, runner in ablations:
         _, text = runner()
         emit(name, text)
 
-    _, alignment_text = alignment_study(elements=min(elements, 512))
+    _, alignment_text = alignment_study(elements=small, engine=engine)
     emit("alignment_study", alignment_text)
     return written

@@ -8,6 +8,7 @@ from repro.kernels.kernels import (
 from repro.kernels.traces import (
     ALIGNMENTS,
     Alignment,
+    alignment_by_name,
     build_trace,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "kernel_by_name",
     "ALIGNMENTS",
     "Alignment",
+    "alignment_by_name",
     "build_trace",
 ]

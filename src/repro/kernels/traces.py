@@ -23,7 +23,13 @@ from repro.kernels.kernels import Kernel
 from repro.params import SystemParams
 from repro.types import AccessType, Vector, VectorCommand
 
-__all__ = ["Alignment", "ALIGNMENTS", "build_trace", "array_bases"]
+__all__ = [
+    "Alignment",
+    "ALIGNMENTS",
+    "alignment_by_name",
+    "build_trace",
+    "array_bases",
+]
 
 #: Words reserved before the first array so that negative element offsets
 #: (tridiag's ``x[i-1]``) stay at non-negative addresses.
@@ -94,6 +100,17 @@ ALIGNMENTS: List[Alignment] = [
         _row_conflict,
     ),
 ]
+
+
+def alignment_by_name(name: str) -> Alignment:
+    """Look up one of the five evaluation alignments by its name."""
+    for alignment in ALIGNMENTS:
+        if alignment.name == name:
+            return alignment
+    raise ConfigurationError(
+        f"unknown alignment {name!r}; available: "
+        f"{[a.name for a in ALIGNMENTS]}"
+    )
 
 
 def _region_words(elements: int, max_stride: int, params: SystemParams) -> int:

@@ -246,7 +246,13 @@ class PVAMemorySystem:
                         else 1
                     )
                     if command.access is AccessType.READ:
-                        self._broadcast(txn_id, command, cycle, None)
+                        # A multi-cycle broadcast (explicit address
+                        # stream) only finishes delivering addresses on
+                        # its last bus cycle; the banks cannot act on the
+                        # command before then.
+                        self._broadcast(
+                            txn_id, command, cycle + request_cycles - 1, None
+                        )
                         bus.broadcast_request(cycle, request_cycles)
                         outstanding[txn_id] = _Transaction(
                             txn_id=txn_id,
@@ -262,7 +268,16 @@ class PVAMemorySystem:
                         vec_write_cycle = bus.stage_write(
                             cycle, request_cycles
                         )
-                        self._broadcast(txn_id, command, vec_write_cycle, line)
+                        # As for reads: the banks see the command once the
+                        # last broadcast cycle has delivered the final
+                        # addresses, so a write cannot commit while its
+                        # address stream is still on the bus.
+                        self._broadcast(
+                            txn_id,
+                            command,
+                            vec_write_cycle + request_cycles - 1,
+                            line,
+                        )
                         outstanding[txn_id] = _Transaction(
                             txn_id=txn_id,
                             trace_index=next_cmd,

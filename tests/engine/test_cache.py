@@ -1,0 +1,153 @@
+"""Cache-key stability and on-disk result cache behavior."""
+
+import dataclasses
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (
+    CommandTraceSpec,
+    ExperimentPoint,
+    KernelTraceSpec,
+    ResultCache,
+    canonical,
+    default_salt,
+    point_key,
+)
+from repro.params import SDRAMTiming, SystemParams
+from repro.types import AccessType, Vector, VectorCommand
+
+
+def _point(**overrides):
+    spec = dict(kernel="copy", stride=4, alignment="aligned", elements=256)
+    spec.update(overrides)
+    return ExperimentPoint(system="pva-sdram", trace=KernelTraceSpec(**spec))
+
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+KEY_SCRIPT = """
+import json, sys
+from repro.engine import ExperimentPoint, KernelTraceSpec, point_key
+from repro.params import SystemParams
+spec = json.loads(sys.argv[1])
+point = ExperimentPoint(
+    system=spec["system"],
+    trace=KernelTraceSpec(**spec["trace"]),
+    params=SystemParams(**spec["params"]),
+)
+print(point_key(point, spec["salt"]))
+"""
+
+
+def test_key_is_deterministic_within_process():
+    assert point_key(_point(), "salt") == point_key(_point(), "salt")
+
+
+def test_key_stable_across_processes():
+    """The content address must be reproducible in a fresh interpreter —
+    no id()/hash-randomization/closure leakage into the key material."""
+    point = _point(stride=19, alignment="element")
+    spec = {
+        "system": point.system,
+        "trace": dataclasses.asdict(point.trace),
+        "params": {"num_banks": point.params.num_banks},
+        "salt": "cross-process-salt",
+    }
+    out = subprocess.run(
+        [sys.executable, "-c", KEY_SCRIPT, json.dumps(spec)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": "random"},
+        check=True,
+    )
+    assert out.stdout.strip() == point_key(point, "cross-process-salt")
+
+
+def test_key_changes_with_params():
+    base = point_key(_point(), "s")
+    changed = ExperimentPoint(
+        system="pva-sdram",
+        trace=KernelTraceSpec(
+            kernel="copy", stride=4, alignment="aligned", elements=256
+        ),
+        params=SystemParams(sdram=SDRAMTiming(t_rcd=3)),
+    )
+    assert point_key(changed, "s") != base
+
+
+@pytest.mark.parametrize(
+    "override",
+    [
+        dict(kernel="scale"),
+        dict(stride=5),
+        dict(alignment="element"),
+        dict(elements=512),
+    ],
+)
+def test_key_changes_with_trace_spec(override):
+    assert point_key(_point(**override), "s") != point_key(_point(), "s")
+
+
+def test_key_changes_with_salt():
+    assert point_key(_point(), "a") != point_key(_point(), "b")
+
+
+def test_default_salt_carries_version_and_schema():
+    import repro
+    from repro.engine.spec import CACHE_SCHEMA_VERSION
+
+    salt = default_salt()
+    assert repro.__version__ in salt
+    assert str(CACHE_SCHEMA_VERSION) in salt
+
+
+def test_command_trace_label_is_cosmetic():
+    command = VectorCommand(
+        vector=Vector(base=3, stride=1, length=16), access=AccessType.READ
+    )
+    a = ExperimentPoint(
+        system="pva-sdram",
+        trace=CommandTraceSpec(commands=(command,), label="one"),
+    )
+    b = ExperimentPoint(
+        system="pva-sdram",
+        trace=CommandTraceSpec(commands=(command,), label="two"),
+    )
+    assert point_key(a, "s") == point_key(b, "s")
+
+
+def test_canonical_rejects_unkeyable_objects():
+    with pytest.raises(TypeError):
+        canonical(object())
+
+
+def test_cache_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = point_key(_point(), "s")
+    assert cache.get(key) is None
+    cache.put(key, {"cycles": 145, "point": "copy/s4"})
+    assert key in cache
+    assert cache.get(key)["cycles"] == 145
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert cache.get(key) is None
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = point_key(_point(), "s")
+    cache.put(key, {"cycles": 145})
+    path = cache._path(key)
+    path.write_text("{not json")
+    assert cache.get(key) is None
+    assert not path.exists()  # dropped for recomputation
+
+
+def test_cache_entry_without_cycles_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("ab" + "0" * 62, {"note": "no cycle count"})
+    assert cache.get("ab" + "0" * 62) is None

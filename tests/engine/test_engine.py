@@ -1,0 +1,156 @@
+"""Engine execution semantics: ordering, parallel parity, caching,
+coalescing, and the metrics/hooks surface."""
+
+import pytest
+
+from repro.engine import (
+    EngineHooks,
+    ExperimentEngine,
+    ExperimentPoint,
+    KernelTraceSpec,
+    execute_point,
+)
+from repro.experiments.grid import run_grid
+
+
+def _points():
+    return [
+        ExperimentPoint(
+            system=system,
+            trace=KernelTraceSpec(
+                kernel=kernel, stride=stride, elements=128
+            ),
+        )
+        for kernel in ("copy", "scale")
+        for stride in (1, 19)
+        for system in ("pva-sdram", "cacheline-serial")
+    ]
+
+
+class Recorder(EngineHooks):
+    def __init__(self):
+        self.outcomes = []
+        self.batches = []
+
+    def point_done(self, outcome, metrics):
+        self.outcomes.append(outcome)
+
+    def batch_complete(self, metrics):
+        self.batches.append(metrics.summary())
+
+
+def test_results_in_submission_order():
+    points = _points()
+    engine = ExperimentEngine(jobs=1)
+    results = engine.run(points)
+    assert results == [execute_point(point) for point in points]
+
+
+def test_parallel_matches_serial():
+    points = _points()
+    serial = ExperimentEngine(jobs=1).run(points)
+    parallel = ExperimentEngine(jobs=3).run(points)
+    assert parallel == serial
+
+
+def test_grid_results_identical_across_job_counts(tmp_path):
+    kwargs = dict(
+        kernels=("copy", "swap"),
+        strides=(1, 4),
+        elements=128,
+    )
+    serial = run_grid(engine=ExperimentEngine(jobs=1), **kwargs)
+    parallel = run_grid(
+        engine=ExperimentEngine(jobs=4, cache_dir=tmp_path), **kwargs
+    )
+    assert parallel == serial
+
+
+def test_cache_warm_run_skips_simulation(tmp_path):
+    points = _points()
+    cold = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    cold_results = cold.run(points)
+    assert cold.metrics.cache_hits == 0
+    assert cold.metrics.simulated > 0
+
+    warm = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    warm_results = warm.run(points)
+    assert warm_results == cold_results
+    assert warm.metrics.simulated == 0
+    assert warm.metrics.cache_hit_rate == 1.0
+
+
+def test_params_change_invalidates_cache(tmp_path):
+    from repro.params import SDRAMTiming, SystemParams
+
+    spec = KernelTraceSpec(kernel="copy", stride=1, elements=128)
+    base = ExperimentPoint(system="pva-sdram", trace=spec)
+    slower = ExperimentPoint(
+        system="pva-sdram",
+        trace=spec,
+        params=SystemParams(sdram=SDRAMTiming(cas_latency=3)),
+    )
+    engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    engine.run_one(base)
+    engine.run_one(slower)
+    # Distinct content addresses: the second run must simulate, not hit.
+    assert engine.key_of(base) != engine.key_of(slower)
+    assert engine.metrics.cache_hits == 0
+    assert engine.metrics.simulated == 2
+
+
+def test_salt_change_invalidates_cache(tmp_path):
+    point = _points()[0]
+    a = ExperimentEngine(jobs=1, cache_dir=tmp_path, salt="v1")
+    a.run_one(point)
+    b = ExperimentEngine(jobs=1, cache_dir=tmp_path, salt="v2")
+    b.run_one(point)
+    assert b.metrics.cache_hits == 0
+    assert a.key_of(point) != b.key_of(point)
+
+
+def test_in_batch_coalescing():
+    point = _points()[0]
+    recorder = Recorder()
+    engine = ExperimentEngine(jobs=1, hooks=recorder)
+    results = engine.run([point, point, point])
+    assert len(set(results)) == 1
+    assert engine.metrics.simulated == 1
+    assert engine.metrics.coalesced == 2
+    assert [o.coalesced for o in sorted(recorder.outcomes, key=lambda o: o.index)] == [
+        False,
+        True,
+        True,
+    ]
+
+
+def test_hooks_receive_every_point_and_metrics(tmp_path):
+    points = _points()
+    recorder = Recorder()
+    engine = ExperimentEngine(jobs=2, cache_dir=tmp_path, hooks=recorder)
+    engine.run(points)
+    assert sorted(o.index for o in recorder.outcomes) == list(
+        range(len(points))
+    )
+    assert all(o.cycles > 0 for o in recorder.outcomes)
+    assert len(recorder.batches) == 1
+    summary = recorder.batches[0]
+    assert summary["points"] == len(points)
+    assert summary["jobs"] == 2
+    assert summary["points_per_second"] > 0
+
+    # Second batch on the same engine: metrics accumulate, hits now 100%.
+    engine.run(points)
+    assert recorder.batches[-1]["points"] == 2 * len(points)
+    assert all(o.cached for o in recorder.outcomes[len(points) :])
+
+
+def test_unknown_kernel_raises():
+    from repro.errors import ConfigurationError
+
+    bogus = ExperimentPoint(
+        system="pva-sdram",
+        trace=KernelTraceSpec(kernel="nope", stride=1, elements=64),
+    )
+    with pytest.raises(ConfigurationError):
+        ExperimentEngine(jobs=1).run_one(bogus)
