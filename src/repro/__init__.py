@@ -39,7 +39,9 @@ from repro.api import (
     register_system,
     simulate,
     system_entry,
+    unregister_system,
 )
+from repro.engine.resilience import BatchResult, PointFailure, RetryPolicy
 from repro.core import (
     NO_HIT,
     bank_subvector,
@@ -49,7 +51,7 @@ from repro.core import (
     split_vector,
     subvectors_by_bank,
 )
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, SimulationTimeout
 from repro.kernels import ALIGNMENTS, KERNELS, build_trace, kernel_by_name
 from repro.params import SDRAMTiming, SRAMTiming, SystemParams
 from repro.sim import RunResult
@@ -98,8 +100,12 @@ __all__ = [
     "simulate",
     "build_system",
     "register_system",
+    "unregister_system",
     "available_systems",
     "system_entry",
+    "BatchResult",
+    "PointFailure",
+    "RetryPolicy",
     "PVAMemorySystem",
     "CacheLineSerialSDRAM",
     "GatheringSerialSDRAM",
@@ -120,5 +126,6 @@ __all__ = [
     "PageMapping",
     "ReproError",
     "ConfigurationError",
+    "SimulationTimeout",
     "__version__",
 ]

@@ -44,6 +44,7 @@ __all__ = [
     "available_systems",
     "system_entry",
     "register_system",
+    "unregister_system",
     "build_system",
     "simulate",
 ]
@@ -96,6 +97,23 @@ def register_system(
     )
     _REGISTRY[name] = entry
     return entry
+
+
+def unregister_system(name: str, *, missing_ok: bool = False) -> None:
+    """Remove ``name`` from the registry.
+
+    Used by the fault-injection harness (:mod:`repro.faults`) to clean
+    up its ``fault-*`` registrations; unknown names raise
+    ``ConfigurationError`` unless ``missing_ok`` is set.
+    """
+    if name not in _REGISTRY:
+        if missing_ok:
+            return
+        raise ConfigurationError(
+            f"unknown memory system {name!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        )
+    del _REGISTRY[name]
 
 
 def available_systems() -> Tuple[str, ...]:

@@ -25,6 +25,7 @@ from typing import Optional, Sequence, Set
 
 from repro.params import SystemParams
 from repro.sdram.device import DeviceStats
+from repro.sim.runner import Watchdog
 from repro.sim.stats import BusStats, RunResult
 from repro.types import AccessType, VectorCommand
 
@@ -93,7 +94,9 @@ class CacheLineSerialSDRAM:
         elements_read = elements_written = 0
         bus = BusStats()
         read_lines = [] if capture_data else None
+        watchdog = Watchdog(len(commands), system=self.name)
         for command in commands:
+            watchdog.check(cycles)
             lines = self.lines_touched(command)
             total_lines += lines
             cycles += lines * self.fill_cycles

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 from repro.params import SystemParams
 from repro.sdram.device import DeviceStats
+from repro.sim.runner import Watchdog
 from repro.sim.stats import BusStats, RunResult
 from repro.types import AccessType, VectorCommand
 
@@ -78,7 +79,9 @@ class GatheringSerialSDRAM:
         columns = 0
         bus = BusStats()
         read_lines = [] if capture_data else None
+        watchdog = Watchdog(len(commands), system=self.name)
         for command in commands:
+            watchdog.check(cycles)
             cycles += self.command_cycles(command)
             activates += 1
             columns += command.vector.length

@@ -17,13 +17,26 @@ Subcommands
     banks).
 ``complexity``
     Print the Table 1 complexity comparison.
+``faults-smoke``
+    Prove failure containment end to end: run a pool batch with a
+    raising point, a watchdog-tripping cycle burner, and a killed
+    worker injected, and verify every healthy point still returns its
+    exact cycle count.
+
+Engine subcommands (``grid``, ``figure``, ``ablation``, ``all``) accept
+``--jobs``/``--cache`` plus the resilience options ``--on-error
+raise|collect``, ``--retries N``, and ``--timeout SECONDS``; with
+``--on-error collect`` a failing point no longer aborts the batch —
+its cells render as ``FAILED`` and the rest of the grid survives.
 
 Examples::
 
     python -m repro run --kernel copy --stride 19
     python -m repro grid --jobs 4 --cache .engine-cache
+    python -m repro grid --jobs 4 --on-error collect --retries 1 --timeout 120
     python -m repro figure 9 --elements 256 --jobs 4
     python -m repro ablation row-policy
+    python -m repro faults-smoke
 """
 
 from __future__ import annotations
@@ -65,16 +78,27 @@ _ABLATIONS = {
 
 class _MetricsLine(EngineHooks):
     """Prints the engine's throughput/caching summary after each batch
-    (to stderr, keeping result tables clean on stdout)."""
+    (to stderr, keeping result tables clean on stdout), plus one line
+    per terminally failed point in collect mode."""
+
+    def point_failed(self, failure, metrics):
+        print(f"[engine] FAILED {failure.describe()}", file=sys.stderr)
 
     def batch_complete(self, metrics):
+        resilience = ""
+        if metrics.failures or metrics.retries or metrics.timeouts:
+            resilience = (
+                f", {metrics.failures} failed / {metrics.retries} "
+                f"retried / {metrics.timeouts} timed out"
+            )
         print(
             f"[engine] {metrics.points_done} points "
             f"({metrics.simulated} simulated, "
             f"cache hit rate {metrics.cache_hit_rate:.0%}) "
             f"in {metrics.elapsed_seconds:.2f}s — "
             f"{metrics.points_per_second:.1f} points/s, "
-            f"{metrics.jobs} job{'s' if metrics.jobs != 1 else ''}",
+            f"{metrics.jobs} job{'s' if metrics.jobs != 1 else ''}"
+            f"{resilience}",
             file=sys.stderr,
         )
 
@@ -92,11 +116,43 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="directory for the content-addressed result cache",
     )
+    parser.add_argument(
+        "--on-error",
+        choices=("raise", "collect"),
+        default="raise",
+        help=(
+            "collect: record per-point failures and keep the batch "
+            "running (failed cells render as FAILED); raise (default): "
+            "abort on the first failure"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-attempts per failed point, with exponential backoff",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-point wall-clock budget in worker pools; recovers "
+            "hung simulations and killed workers (default: wait forever)"
+        ),
+    )
 
 
 def _engine_from(args: argparse.Namespace) -> ExperimentEngine:
     return ExperimentEngine(
-        jobs=args.jobs, cache_dir=args.cache, hooks=_MetricsLine()
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        hooks=_MetricsLine(),
+        on_error=args.on_error,
+        retry=args.retries,
+        timeout=args.timeout,
     )
 
 
@@ -176,6 +232,22 @@ def build_parser() -> argparse.ArgumentParser:
         "complexity", help="print the Table 1 complexity comparison"
     )
 
+    smoke_parser = sub.add_parser(
+        "faults-smoke",
+        help=(
+            "inject faults (raise, hang, killed worker) into a pool "
+            "batch and verify the engine contains all of them"
+        ),
+    )
+    smoke_parser.add_argument("--jobs", type=int, default=2)
+    smoke_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-point budget; bounds how long the killed worker stalls",
+    )
+    smoke_parser.add_argument("--elements", type=int, default=64)
+
     sweep_parser = sub.add_parser(
         "sweep", help="dense stride sweep on one kernel"
     )
@@ -252,7 +324,10 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     headers = ("kernel", "stride", "alignment") + tuple(grid.systems)
     rows = [
         (kernel, stride, alignment)
-        + tuple(point[name] for name in grid.systems)
+        + tuple(
+            "FAILED" if point[name] is None else point[name]
+            for name in grid.systems
+        )
         for (kernel, stride, alignment), point in grid.cycles.items()
     ]
     print(format_table(headers, rows))
@@ -324,6 +399,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "complexity":
         print(complexity_table(SystemParams()))
         return 0
+    if args.command == "faults-smoke":
+        from repro.faults.smoke import run_faults_smoke
+
+        return run_faults_smoke(
+            jobs=args.jobs, timeout=args.timeout, elements=args.elements
+        )
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "all":

@@ -13,7 +13,12 @@ memory systems x eight kernels x six strides x five alignments (section
   repeated figure/ablation runs replay from disk;
 * :class:`~repro.engine.metrics.EngineHooks` — progress callbacks
   carrying per-point cycle counts and running points/sec + cache
-  hit-rate metrics.
+  hit-rate metrics;
+* :mod:`~repro.engine.resilience` — failure capture
+  (:class:`PointFailure`), retry with exponential backoff
+  (:class:`RetryPolicy`), per-point timeouts, and partial-batch results
+  (:class:`BatchResult` from ``on_error="collect"``), so one bad point
+  cannot take down a 240-point grid.
 
 Quick start::
 
@@ -39,6 +44,7 @@ from repro.engine.metrics import (
     PointOutcome,
     PrintProgress,
 )
+from repro.engine.resilience import BatchResult, PointFailure, RetryPolicy
 from repro.engine.spec import (
     CACHE_SCHEMA_VERSION,
     CommandTraceSpec,
@@ -54,6 +60,9 @@ from repro.engine.spec import (
 __all__ = [
     "ExperimentEngine",
     "ResultCache",
+    "BatchResult",
+    "PointFailure",
+    "RetryPolicy",
     "EngineHooks",
     "EngineMetrics",
     "PointOutcome",

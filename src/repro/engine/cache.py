@@ -7,7 +7,14 @@ small on full-evaluation caches (hundreds of entries).
 
 Writes are atomic (temp file + ``os.replace``), so a cache directory
 shared by concurrent runs never serves a torn entry; corrupt or
-unreadable entries are treated as misses and removed.
+unreadable entries are treated as misses and removed.  Documents are
+validated on both sides of the disk: :meth:`ResultCache.put` rejects
+records without a non-negative integer ``cycles``
+(:class:`~repro.errors.CacheIntegrityError`), and :meth:`ResultCache.get`
+treats such records — e.g. written by a corruptor or an older tool — as
+misses.  Maintenance paths (``__len__``, ``clear``) skip stray files
+(editor droppings, orphaned temp files), so a polluted directory cannot
+crash them.
 """
 
 from __future__ import annotations
@@ -16,9 +23,22 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
+
+from repro.errors import CacheIntegrityError
 
 __all__ = ["ResultCache"]
+
+
+def _valid_document(document) -> bool:
+    """A stored result must carry a non-negative integer cycle count
+    (bools are ints in Python; they are not cycle counts)."""
+    return (
+        isinstance(document, dict)
+        and isinstance(document.get("cycles"), int)
+        and not isinstance(document.get("cycles"), bool)
+        and document["cycles"] >= 0
+    )
 
 
 class ResultCache:
@@ -46,12 +66,22 @@ class ResultCache:
             except OSError:
                 pass
             return None
-        if not isinstance(document, dict) or "cycles" not in document:
+        if not _valid_document(document):
             return None
         return document
 
     def put(self, key: str, document: Dict) -> None:
-        """Atomically store ``document`` under ``key``."""
+        """Atomically store ``document`` under ``key``.
+
+        Raises :class:`CacheIntegrityError` unless the document carries
+        a non-negative integer ``cycles`` — garbage must not enter the
+        cache in the first place.
+        """
+        if not _valid_document(document):
+            raise CacheIntegrityError(
+                "cache documents require a non-negative integer 'cycles' "
+                f"field, got {document!r:.120}"
+            )
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, temp_name = tempfile.mkstemp(
@@ -71,13 +101,28 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
+    def _entries(self) -> Iterator[Path]:
+        """Entry files only: ``<2-hex>/<key>.json`` with a hex-prefixed
+        name.  Orphaned ``.tmp-*`` files, editor droppings and other
+        strays in a polluted directory are not entries."""
+        for path in self.root.glob("*/*.json"):
+            if path.name.startswith(".") or not path.is_file():
+                continue
+            if not path.name.startswith(path.parent.name):
+                continue
+            yield path
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> int:
-        """Delete every entry; return the number removed."""
+        """Delete every entry; return the number removed.
+
+        Only entry files are touched; stray files are left alone so a
+        mis-pointed cache directory cannot lose unrelated data.
+        """
         removed = 0
-        for path in self.root.glob("*/*.json"):
+        for path in self._entries():
             try:
                 path.unlink()
                 removed += 1

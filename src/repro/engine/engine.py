@@ -18,26 +18,58 @@ between a submitted point and a simulation:
    start method is preferred (cheap, inherits ``sys.path``) with spawn
    as the portable fallback.
 
+On top of these sits the **resilience layer**
+(:mod:`repro.engine.resilience`): every unique point is tracked as a
+task with its own id, submitted via ``apply_async`` so one stuck point
+cannot stall the stream.  A failing point is retried under the engine's
+:class:`RetryPolicy` (exponential backoff); a point that outlives the
+per-point ``timeout`` — a hung simulation or a killed worker — is
+recovered the same way.  Terminal failures either abort the batch
+(``on_error="raise"``, the default) or are captured as
+:class:`PointFailure` records in the returned :class:`BatchResult`
+(``on_error="collect"``), with healthy points unaffected.  If the pool
+misbehaves repeatedly the engine abandons it and degrades to inline
+execution for the remaining points.
+
 Progress and throughput are surfaced through the
 :class:`~repro.engine.metrics.EngineHooks` callback interface.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import signal
 import time
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import traceback
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.api import build_system
 from repro.engine.cache import ResultCache
 from repro.engine.metrics import EngineHooks, EngineMetrics, PointOutcome
+from repro.engine.resilience import (
+    KIND_EXCEPTION,
+    KIND_TIMEOUT,
+    BatchResult,
+    PointFailure,
+    RetryPolicy,
+)
 from repro.engine.spec import (
     ExperimentPoint,
     build_point_trace,
     default_salt,
     point_key,
 )
+from repro.errors import (
+    ConfigurationError,
+    IncompleteBatchError,
+    PointFailedError,
+)
 
 __all__ = ["ExperimentEngine", "execute_point"]
+
+#: Idle-poll interval of the pool result loop, seconds.
+_POLL_SECONDS = 0.005
 
 
 def execute_point(point: ExperimentPoint) -> int:
@@ -60,6 +92,48 @@ def _pool_context():
     )
 
 
+def _init_worker():
+    """Pool workers ignore SIGINT: the parent owns interrupt handling
+    (terminate + flush + clean re-raise), so ^C prints one traceback
+    instead of one per worker."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+class _Task:
+    """Parent-side state of one unique point's execution."""
+
+    __slots__ = (
+        "task_id",
+        "key",
+        "point",
+        "attempts",
+        "async_result",
+        "deadline",
+        "not_before",
+    )
+
+    def __init__(self, task_id: int, key: str, point: ExperimentPoint):
+        self.task_id = task_id
+        self.key = key
+        self.point = point
+        self.attempts = 0  #: executions started so far
+        self.async_result = None  #: in-flight AsyncResult, or None
+        self.deadline: Optional[float] = None
+        self.not_before: float = 0.0  #: backoff gate for the next attempt
+
+
+#: One streamed execution outcome: exactly one of ``cycles`` / ``failure``
+#: is set; ``error`` carries the original exception object when there is
+#: one to re-raise in ``on_error="raise"`` mode.
+_Outcome = Tuple[
+    str,
+    ExperimentPoint,
+    Optional[int],
+    Optional[PointFailure],
+    Optional[BaseException],
+]
+
+
 class ExperimentEngine:
     """Executes experiment-point batches with caching and a worker pool.
 
@@ -72,10 +146,28 @@ class ExperimentEngine:
         caching.
     hooks:
         An :class:`EngineHooks` implementation receiving per-point
-        outcomes and batch summaries.
+        outcomes, failures, and batch summaries.
     salt:
         Cache-key salt; defaults to the library version plus the engine
         schema version, so upgrading either invalidates stale entries.
+    on_error:
+        ``"raise"`` (default) propagates the first terminal point
+        failure; ``"collect"`` records failures and returns a
+        :class:`BatchResult` with ``None`` cycles at failed indices.
+    retry:
+        A :class:`RetryPolicy`, or an int shorthand for
+        ``RetryPolicy(retries=n)``; None disables retrying.
+    timeout:
+        Per-point wall-clock budget in seconds for pool execution,
+        measured from task submission.  Recovers hung simulations and
+        killed workers (whose results never arrive).  None (default)
+        waits forever; inline execution ignores it — the simulation
+        watchdog (:class:`repro.sim.runner.Watchdog`) is the inline
+        containment layer.
+    degrade_after:
+        Abandon the worker pool and finish the batch inline after this
+        many pool incidents (timeouts / lost tasks / submission
+        failures) in one batch.
     """
 
     def __init__(
@@ -85,25 +177,54 @@ class ExperimentEngine:
         cache_dir=None,
         hooks: Optional[EngineHooks] = None,
         salt: Optional[str] = None,
+        on_error: str = "raise",
+        retry: Union[RetryPolicy, int, None] = None,
+        timeout: Optional[float] = None,
+        degrade_after: int = 3,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.hooks = hooks if hooks is not None else EngineHooks()
         self.salt = salt if salt is not None else default_salt()
+        if on_error not in ("raise", "collect"):
+            raise ConfigurationError(
+                f'on_error must be "raise" or "collect", got {on_error!r}'
+            )
+        self.on_error = on_error
+        if retry is None:
+            retry = RetryPolicy()
+        elif isinstance(retry, int):
+            retry = RetryPolicy(retries=retry)
+        self.retry = retry
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive or None, got {timeout}"
+            )
+        self.timeout = timeout
+        self.degrade_after = max(1, int(degrade_after))
         self.metrics = EngineMetrics(jobs=self.jobs)
 
     # ------------------------------------------------------------- #
     # Execution
     # ------------------------------------------------------------- #
 
-    def run(self, points: Sequence[ExperimentPoint]) -> List[int]:
-        """Execute a batch; return cycle counts in submission order."""
+    def run(
+        self, points: Sequence[ExperimentPoint]
+    ) -> Union[List[int], BatchResult]:
+        """Execute a batch; return cycle counts in submission order.
+
+        With ``on_error="raise"`` the return value is a plain
+        ``List[int]``; with ``"collect"`` it is a :class:`BatchResult`
+        whose sequence view has ``None`` at failed indices and whose
+        ``failures`` lists one :class:`PointFailure` per failed point.
+        """
         points = list(points)
         metrics = self.metrics
         metrics.points_total += len(points)
         started = time.perf_counter()
 
         results: List[Optional[int]] = [None] * len(points)
+        failures: List[PointFailure] = []
         keys = [point_key(point, self.salt) for point in points]
 
         # Cache lookups + in-batch coalescing, in submission order.
@@ -128,60 +249,300 @@ class ExperimentEngine:
             waiting[key] = [index]
             pending.append((key, point))
 
-        # Execute the unique misses, streaming results in a fixed order.
-        for key, point, cycles in self._execute(pending):
-            if self.cache is not None:
-                self.cache.put(
-                    key, {"cycles": cycles, "point": point.describe()}
-                )
-            indices = waiting.pop(key)
-            metrics.simulated += 1
-            for position, index in enumerate(indices):
-                results[index] = cycles
-                metrics.points_done += 1
-                self.hooks.point_done(
-                    PointOutcome(
-                        index,
-                        points[index],
-                        cycles,
-                        cached=False,
-                        coalesced=position > 0,
-                    ),
-                    metrics,
-                )
+        # Execute the unique misses, streaming outcomes as they land
+        # (results are index-keyed, so completion order is irrelevant).
+        try:
+            for key, point, cycles, failure, error in self._execute(pending):
+                if failure is None:
+                    if self.cache is not None:
+                        self.cache.put(
+                            key, {"cycles": cycles, "point": point.describe()}
+                        )
+                    indices = waiting.pop(key)
+                    metrics.simulated += 1
+                    for position, index in enumerate(indices):
+                        results[index] = cycles
+                        metrics.points_done += 1
+                        self.hooks.point_done(
+                            PointOutcome(
+                                index,
+                                points[index],
+                                cycles,
+                                cached=False,
+                                coalesced=position > 0,
+                            ),
+                            metrics,
+                        )
+                    continue
+                if self.on_error == "raise":
+                    if error is not None:
+                        raise error
+                    raise PointFailedError(failure.describe())
+                for index in waiting.pop(key):
+                    record = dataclasses.replace(
+                        failure, index=index, point=points[index]
+                    )
+                    failures.append(record)
+                    metrics.failures += 1
+                    self.hooks.point_failed(record, metrics)
+        finally:
+            metrics.elapsed_seconds += time.perf_counter() - started
 
-        metrics.elapsed_seconds += time.perf_counter() - started
+        failed = {failure.index for failure in failures}
+        missing = [
+            index
+            for index, cycles in enumerate(results)
+            if cycles is None and index not in failed
+        ]
+        if missing:
+            raise IncompleteBatchError(
+                f"batch finished with {len(missing)} unaccounted "
+                f"point(s) (first indices: {missing[:5]}) — engine bug"
+            )
         self.hooks.batch_complete(metrics)
-        assert all(cycles is not None for cycles in results)
+        if self.on_error == "collect":
+            return BatchResult(results, failures)
         return results  # type: ignore[return-value]
 
-    def _execute(self, pending):
-        """Yield ``(key, point, cycles)`` for unique points, in
-        first-submission order whatever the job count."""
+    def _execute(
+        self, pending: List[Tuple[str, ExperimentPoint]]
+    ) -> Iterator[_Outcome]:
+        """Stream one outcome per unique point, in completion order."""
         if not pending:
             return
         if self.jobs == 1 or len(pending) == 1:
             for key, point in pending:
-                yield key, point, execute_point(point)
+                yield self._run_inline(key, point)
             return
+        yield from self._execute_pool(pending)
+
+    # ------------------------------------------------------------- #
+    # Inline execution (jobs=1 and the degraded fallback)
+    # ------------------------------------------------------------- #
+
+    def _run_inline(
+        self, key: str, point: ExperimentPoint, attempts: int = 0
+    ) -> _Outcome:
+        """Execute one point in this process, honouring the retry
+        policy.  ``attempts`` carries over executions already consumed
+        in the pool when the engine degrades mid-batch."""
+        while True:
+            attempts += 1
+            try:
+                return key, point, execute_point(point), None, None
+            except Exception as error:
+                if self.retry.should_retry(attempts):
+                    self.metrics.retries += 1
+                    delay = self.retry.delay(attempts)
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                failure = self._failure_from(point, error, attempts)
+                return key, point, None, failure, error
+
+    # ------------------------------------------------------------- #
+    # Pool execution
+    # ------------------------------------------------------------- #
+
+    def _execute_pool(
+        self, pending: List[Tuple[str, ExperimentPoint]]
+    ) -> Iterator[_Outcome]:
         context = _pool_context()
         workers = min(self.jobs, len(pending))
-        chunksize = max(1, len(pending) // (workers * 4))
-        with context.Pool(processes=workers) as pool:
-            cycle_stream = pool.imap(
-                execute_point,
-                [point for _, point in pending],
-                chunksize=chunksize,
-            )
-            for (key, point), cycles in zip(pending, cycle_stream):
-                yield key, point, cycles
+        pool = context.Pool(processes=workers, initializer=_init_worker)
+        queue = deque(
+            _Task(task_id, key, point)
+            for task_id, (key, point) in enumerate(pending)
+        )
+        live: Dict[int, _Task] = {}  #: task_id -> in-flight or backing off
+        incidents = 0  #: pool-level faults seen this batch
+        try:
+            while queue or live:
+                if incidents >= self.degrade_after:
+                    # The pool keeps misbehaving (stuck or dying
+                    # workers); finish the batch inline where at least
+                    # the simulation watchdog contains faults.
+                    pool.terminate()
+                    remaining = list(live.values()) + list(queue)
+                    live.clear()
+                    queue.clear()
+                    for task in remaining:
+                        self.metrics.degraded += 1
+                        yield self._run_inline(
+                            task.key, task.point, attempts=task.attempts
+                        )
+                    return
+
+                progressed = self._fill_pool(pool, queue, live, workers)
+                now = time.monotonic()
+                for task_id in list(live):
+                    task = live[task_id]
+                    if task.async_result is None:
+                        # Backing off before a retry.
+                        if now >= task.not_before:
+                            if not self._submit(pool, task):
+                                incidents = self.degrade_after
+                                break
+                            progressed = True
+                        continue
+                    if task.async_result.ready():
+                        progressed = True
+                        del live[task_id]
+                        try:
+                            cycles = task.async_result.get()
+                        except Exception as error:
+                            if self.retry.should_retry(task.attempts):
+                                self.metrics.retries += 1
+                                task.async_result = None
+                                task.not_before = now + self.retry.delay(
+                                    task.attempts
+                                )
+                                live[task_id] = task
+                                continue
+                            yield (
+                                task.key,
+                                task.point,
+                                None,
+                                self._failure_from(
+                                    task.point, error, task.attempts
+                                ),
+                                error,
+                            )
+                            continue
+                        yield task.key, task.point, cycles, None, None
+                    elif task.deadline is not None and now > task.deadline:
+                        # Hung simulation or killed worker: its result
+                        # will never arrive (a late one is discarded).
+                        progressed = True
+                        self.metrics.timeouts += 1
+                        incidents += 1
+                        del live[task_id]
+                        if self.retry.should_retry(
+                            task.attempts, timeout=True
+                        ):
+                            self.metrics.retries += 1
+                            task.async_result = None
+                            task.not_before = now + self.retry.delay(
+                                task.attempts
+                            )
+                            live[task_id] = task
+                            continue
+                        yield (
+                            task.key,
+                            task.point,
+                            None,
+                            self._timeout_failure(task),
+                            None,
+                        )
+                if not progressed:
+                    time.sleep(_POLL_SECONDS)
+        except KeyboardInterrupt:
+            # Stop the workers, then flush every already-finished
+            # result so the cache keeps the completed work, and
+            # re-raise a single clean interrupt.
+            pool.terminate()
+            for task in live.values():
+                ready = task.async_result
+                if ready is None or not ready.ready():
+                    continue
+                try:
+                    cycles = ready.get(0)
+                except Exception:
+                    continue
+                yield task.key, task.point, cycles, None, None
+            raise
+        finally:
+            pool.terminate()
+            pool.join()
+
+    def _fill_pool(
+        self,
+        pool,
+        queue: deque,
+        live: Dict[int, "_Task"],
+        workers: int,
+    ) -> bool:
+        """Keep at most ``2 * workers`` tasks outstanding.
+
+        Lazy submission keeps the per-point ``timeout`` honest: a
+        deadline starts at submission, so queueing every point up front
+        would charge tail points for the whole batch's runtime.
+        """
+        progressed = False
+        in_flight = sum(
+            1 for task in live.values() if task.async_result is not None
+        )
+        while queue and in_flight < 2 * workers:
+            task = queue.popleft()
+            if not self._submit(pool, task):
+                queue.appendleft(task)
+                return progressed
+            live[task.task_id] = task
+            in_flight += 1
+            progressed = True
+        return progressed
+
+    def _submit(self, pool, task: "_Task") -> bool:
+        """Start one attempt of ``task``; False if the pool is broken."""
+        try:
+            async_result = pool.apply_async(execute_point, (task.point,))
+        except Exception:
+            return False
+        task.attempts += 1
+        task.async_result = async_result
+        task.deadline = (
+            time.monotonic() + self.timeout
+            if self.timeout is not None
+            else None
+        )
+        return True
+
+    # ------------------------------------------------------------- #
+    # Failure records
+    # ------------------------------------------------------------- #
+
+    @staticmethod
+    def _failure_from(
+        point: ExperimentPoint, error: BaseException, attempts: int
+    ) -> PointFailure:
+        return PointFailure(
+            index=-1,
+            point=point,
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback="".join(
+                traceback.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            ),
+            attempts=attempts,
+            kind=KIND_EXCEPTION,
+        )
+
+    def _timeout_failure(self, task: "_Task") -> PointFailure:
+        return PointFailure(
+            index=-1,
+            point=task.point,
+            error_type="TimeoutError",
+            message=(
+                f"point exceeded its {self.timeout}s deadline — "
+                "hung simulation or killed worker"
+            ),
+            traceback="",
+            attempts=task.attempts,
+            kind=KIND_TIMEOUT,
+        )
 
     # ------------------------------------------------------------- #
     # Convenience
     # ------------------------------------------------------------- #
 
-    def run_one(self, point: ExperimentPoint) -> int:
-        """Execute a single point (through cache and hooks)."""
+    def run_one(self, point: ExperimentPoint) -> Optional[int]:
+        """Execute a single point (through cache and hooks).
+
+        In ``on_error="collect"`` mode a failed point yields None; check
+        the batch via :meth:`run` for the failure record.
+        """
         return self.run([point])[0]
 
     def key_of(self, point: ExperimentPoint) -> str:

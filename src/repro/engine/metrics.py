@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.resilience import PointFailure
     from repro.engine.spec import ExperimentPoint
 
 __all__ = ["PointOutcome", "EngineMetrics", "EngineHooks", "PrintProgress"]
@@ -40,6 +41,10 @@ class EngineMetrics:
     coalesced: int = 0  #: points served by an identical in-batch point
     elapsed_seconds: float = 0.0
     jobs: int = 1
+    failures: int = 0  #: points that terminally failed (collect mode)
+    retries: int = 0  #: re-attempts consumed by the retry policy
+    timeouts: int = 0  #: per-point deadline expiries (incl. retried ones)
+    degraded: int = 0  #: points run inline after the pool was abandoned
 
     @property
     def cache_hit_rate(self) -> float:
@@ -64,6 +69,10 @@ class EngineMetrics:
             "points_per_second": round(self.points_per_second, 1),
             "elapsed_seconds": round(self.elapsed_seconds, 3),
             "jobs": self.jobs,
+            "failures": self.failures,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "degraded": self.degraded,
         }
 
 
@@ -79,6 +88,13 @@ class EngineHooks:
         self, outcome: PointOutcome, metrics: EngineMetrics
     ) -> None:
         """Called once per requested point, as its result lands."""
+
+    def point_failed(
+        self, failure: "PointFailure", metrics: EngineMetrics
+    ) -> None:
+        """Called once per point whose execution terminally failed
+        (``on_error="collect"`` mode only — in ``"raise"`` mode the
+        first failure propagates as an exception instead)."""
 
     def batch_complete(self, metrics: EngineMetrics) -> None:
         """Called after every :meth:`ExperimentEngine.run` batch."""
@@ -100,11 +116,18 @@ class PrintProgress(EngineHooks):
                 f"{outcome.cycles} cycles ({source})"
             )
 
+    def point_failed(self, failure, metrics):
+        self.emit(f"[engine] FAILED {failure.describe()}")
+
     def batch_complete(self, metrics):
+        failed = (
+            f", {metrics.failures} failed" if metrics.failures else ""
+        )
         self.emit(
             f"[engine] {metrics.points_done}/{metrics.points_total} points, "
             f"{metrics.simulated} simulated, "
             f"cache hit rate {metrics.cache_hit_rate:.0%}, "
             f"{metrics.points_per_second:.1f} points/s "
             f"({metrics.jobs} job{'s' if metrics.jobs != 1 else ''})"
+            f"{failed}"
         )

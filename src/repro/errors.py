@@ -18,6 +18,11 @@ __all__ = [
     "TimingViolation",
     "TLBMissError",
     "CapacityError",
+    "SimulationTimeout",
+    "EngineError",
+    "PointFailedError",
+    "IncompleteBatchError",
+    "CacheIntegrityError",
 ]
 
 
@@ -73,3 +78,43 @@ class TLBMissError(ReproError):
 class CapacityError(ReproError):
     """A fixed-capacity hardware structure (FIFO, register file, staging
     buffer) was pushed beyond its configured size."""
+
+
+class SimulationTimeout(ReproError):
+    """A simulation watchdog tripped: the run exceeded its cycle budget
+    or wall-clock deadline.
+
+    Raised by :class:`repro.sim.runner.Watchdog` from inside the run
+    loop of every memory system, so an infinite-loop scheduler bug (or a
+    deliberately injected cycle burner) becomes a contained, catchable
+    error instead of a hang.
+    """
+
+
+class EngineError(ReproError):
+    """Base class for failures of the experiment engine itself (as
+    opposed to errors raised by the simulated systems it runs)."""
+
+
+class PointFailedError(EngineError):
+    """An experiment point exhausted its retry budget.
+
+    Raised by :meth:`repro.engine.ExperimentEngine.run` in
+    ``on_error="raise"`` mode when a point's terminal failure has no
+    original exception object to re-raise — a per-point timeout or a
+    worker process that died mid-task.
+    """
+
+
+class IncompleteBatchError(EngineError):
+    """``ExperimentEngine.run`` finished its stream but one or more
+    points have neither a cycle count nor a recorded failure.
+
+    This indicates an engine bug (a dropped task id), never user error;
+    it replaces a bare ``assert`` so the check survives ``python -O``.
+    """
+
+
+class CacheIntegrityError(ReproError):
+    """A document offered to :meth:`repro.engine.ResultCache.put` is not
+    a valid result record (missing or malformed ``cycles``)."""

@@ -1,0 +1,133 @@
+"""Deterministic fault injection for the experiment engine.
+
+The resilience claims of :mod:`repro.engine` are only worth what can be
+demonstrated, so this package provides **injectors** — memory systems
+that fail in exactly one reproducible way (raise, hang, die, corrupt) —
+plus registry plumbing to expose them to the engine under ``fault-*``
+system names, and the end-to-end smoke harness behind
+``python -m repro faults-smoke``.
+
+Quick start::
+
+    from repro import faults
+    from repro.engine import ExperimentEngine, ExperimentPoint, KernelTraceSpec
+
+    names = faults.install_fault_systems(state_dir=tmpdir)
+    engine = ExperimentEngine(jobs=4, on_error="collect", timeout=5.0)
+    batch = engine.run([
+        ExperimentPoint("pva-sdram", KernelTraceSpec("copy", stride=1)),
+        ExperimentPoint(names["raising"], KernelTraceSpec("copy", stride=1)),
+    ])
+    assert batch.cycles[0] is not None and batch.failures[0].index == 1
+    faults.uninstall_fault_systems()
+
+The injectors are plain classes too — wrap any system directly when a
+test does not need the registry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.api import build_system, register_system, unregister_system
+from repro.faults.injectors import (
+    CacheCorruptor,
+    CycleBurnerSystem,
+    InjectedFault,
+    RaisingSystem,
+    TransientFaultSystem,
+    WorkerKillerSystem,
+)
+
+__all__ = [
+    "InjectedFault",
+    "RaisingSystem",
+    "TransientFaultSystem",
+    "CycleBurnerSystem",
+    "WorkerKillerSystem",
+    "CacheCorruptor",
+    "FAULT_SYSTEM_NAMES",
+    "install_fault_systems",
+    "uninstall_fault_systems",
+]
+
+#: Registry names claimed by :func:`install_fault_systems`, by role.
+FAULT_SYSTEM_NAMES: Dict[str, str] = {
+    "raising": "fault-raising",
+    "transient": "fault-transient",
+    "burner": "fault-burner",
+    "killer": "fault-killer",
+    "killer-once": "fault-killer-once",
+}
+
+
+def install_fault_systems(
+    base: str = "pva-sdram",
+    *,
+    state_dir: Optional[Union[str, Path]] = None,
+    fail_on_command: int = 0,
+) -> Dict[str, str]:
+    """Register the injectors as engine-runnable systems.
+
+    ``base`` names the healthy system the wrappers delegate to.  The
+    ``transient`` and ``killer-once`` injectors need ``state_dir`` for
+    their cross-process marker files; without it only the stateless
+    injectors are registered.  Registration uses ``overwrite=True`` so
+    repeated installs (e.g. per test) simply re-point the names.
+
+    Returns the role -> system-name mapping actually registered.
+    """
+    names = {}
+
+    def _register(role: str, factory, description: str) -> None:
+        name = FAULT_SYSTEM_NAMES[role]
+        register_system(
+            name, factory, description=description, overwrite=True
+        )
+        names[role] = name
+
+    _register(
+        "raising",
+        lambda p: RaisingSystem(
+            build_system(base, p), fail_on_command=fail_on_command
+        ),
+        f"injector: raises InjectedFault on command {fail_on_command}",
+    )
+    _register(
+        "burner",
+        lambda p: CycleBurnerSystem(p),
+        "injector: burns cycles until the simulation watchdog trips",
+    )
+    _register(
+        "killer",
+        lambda p: WorkerKillerSystem(),
+        "injector: kills the executing process on every run",
+    )
+    if state_dir is not None:
+        state = Path(state_dir)
+        state.mkdir(parents=True, exist_ok=True)
+        transient_marker = state / "transient.attempted"
+        killer_marker = state / "killer.fired"
+        _register(
+            "transient",
+            lambda p: TransientFaultSystem(
+                build_system(base, p), marker=transient_marker
+            ),
+            "injector: fails the first attempt, then heals",
+        )
+        _register(
+            "killer-once",
+            lambda p: WorkerKillerSystem(
+                build_system(base, p), marker=killer_marker
+            ),
+            "injector: kills the first executing process, then heals",
+        )
+    return names
+
+
+def uninstall_fault_systems() -> None:
+    """Remove every ``fault-*`` name from the system registry (names
+    not currently registered are ignored)."""
+    for name in FAULT_SYSTEM_NAMES.values():
+        unregister_system(name, missing_ok=True)

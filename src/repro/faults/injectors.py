@@ -1,0 +1,231 @@
+"""Deterministic fault injectors.
+
+Each injector is a :class:`~repro.sim.runner.MemorySystem` (or a wrapper
+around one) that misbehaves in exactly one, reproducible way:
+
+* :class:`RaisingSystem` — raises :class:`InjectedFault` when the trace
+  reaches its designated command;
+* :class:`TransientFaultSystem` — fails the *first* execution only,
+  succeeding on every later attempt (attempt state lives in a marker
+  file, so it survives the process boundary to pool workers and retried
+  submissions);
+* :class:`CycleBurnerSystem` — ignores its trace and burns simulated
+  cycles until the simulation watchdog trips
+  (:class:`~repro.errors.SimulationTimeout`);
+* :class:`WorkerKillerSystem` — hard-kills the executing process with
+  ``os._exit``, simulating an OOM-killed or segfaulted pool worker;
+* :class:`CacheCorruptor` — vandalizes a :class:`ResultCache` directory
+  with torn, garbage, and stray entries.
+
+None of these are imported by the simulator proper — they exist to
+*prove* the engine's resilience layer contains them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.engine.cache import ResultCache
+from repro.errors import ReproError
+from repro.params import SystemParams
+from repro.sim.runner import Watchdog
+from repro.sim.stats import RunResult
+
+__all__ = [
+    "InjectedFault",
+    "RaisingSystem",
+    "TransientFaultSystem",
+    "CycleBurnerSystem",
+    "WorkerKillerSystem",
+    "CacheCorruptor",
+]
+
+
+class InjectedFault(ReproError):
+    """The deliberate failure raised by the fault-injection harness."""
+
+
+def _claim_marker(marker: Union[str, Path]) -> bool:
+    """Atomically create ``marker``; True if this call created it.
+
+    ``O_CREAT | O_EXCL`` makes the first-attempt check race-free across
+    pool workers on any platform with a shared filesystem.
+    """
+    try:
+        fd = os.open(str(marker), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+class RaisingSystem:
+    """Wrap a memory system; raise :class:`InjectedFault` on the Nth
+    command of every trace (0-based; traces shorter than N run clean)."""
+
+    def __init__(self, inner, fail_on_command: int = 0, message: str = ""):
+        self.inner = inner
+        self.name = inner.name
+        self.fail_on_command = fail_on_command
+        self.message = message or (
+            f"injected fault at command {fail_on_command}"
+        )
+
+    def poke(self, address: int, value: int) -> None:
+        self.inner.poke(address, value)
+
+    def peek(self, address: int) -> int:
+        return self.inner.peek(address)
+
+    def run(
+        self, commands: Sequence, capture_data: bool = False
+    ) -> RunResult:
+        if len(commands) > self.fail_on_command:
+            raise InjectedFault(self.message)
+        return self.inner.run(commands, capture_data=capture_data)
+
+
+class TransientFaultSystem:
+    """Wrap a memory system; fail the first execution, then heal.
+
+    The first ``run`` call that claims the marker file raises
+    :class:`InjectedFault`; every later call (any process) runs the
+    wrapped system normally.  This is the canonical transient fault the
+    engine's retry policy must absorb without user-visible failure.
+    """
+
+    def __init__(self, inner, marker: Union[str, Path], message: str = ""):
+        self.inner = inner
+        self.name = inner.name
+        self.marker = Path(marker)
+        self.message = message or "injected transient fault (first attempt)"
+
+    def poke(self, address: int, value: int) -> None:
+        self.inner.poke(address, value)
+
+    def peek(self, address: int) -> int:
+        return self.inner.peek(address)
+
+    def run(
+        self, commands: Sequence, capture_data: bool = False
+    ) -> RunResult:
+        if _claim_marker(self.marker):
+            raise InjectedFault(self.message)
+        return self.inner.run(commands, capture_data=capture_data)
+
+
+class CycleBurnerSystem:
+    """A memory system that never finishes: it spins the simulated
+    clock without retiring commands until the watchdog contains it.
+
+    With the default :class:`~repro.sim.runner.SimulationLimits` the
+    containment is the cycle budget (``4096 x len(trace)`` ticks, a few
+    milliseconds of host time) — the infinite loop is *bounded by
+    construction*, which is what lets the test suite enforce wall-clock
+    limits on containment tests.
+    """
+
+    def __init__(
+        self,
+        params: Optional[SystemParams] = None,
+        name: str = "cycle-burner",
+    ):
+        self.params = params or SystemParams()
+        self.name = name
+
+    def run(
+        self, commands: Sequence, capture_data: bool = False
+    ) -> RunResult:
+        watchdog = Watchdog(len(commands), system=self.name)
+        cycle = 0
+        while True:  # SimulationTimeout is the only exit
+            watchdog.check(cycle)
+            cycle += 1
+
+
+class WorkerKillerSystem:
+    """Hard-kill the executing process via ``os._exit``.
+
+    With a ``marker`` path the kill fires only for the claimant of the
+    marker (kill-once: a retried or rescheduled attempt survives);
+    without one, every execution dies.  ``os._exit`` skips all cleanup,
+    faithfully modelling an OOM kill or segfault: the pool worker
+    vanishes and the task's result never arrives.
+
+    Never run this inline — it takes the caller down with it.  The
+    engine's per-point timeout is the recovery path.
+    """
+
+    def __init__(
+        self,
+        inner=None,
+        marker: Optional[Union[str, Path]] = None,
+        exit_code: int = 17,
+        name: str = "worker-killer",
+    ):
+        self.inner = inner
+        self.name = inner.name if inner is not None else name
+        self.marker = Path(marker) if marker is not None else None
+        self.exit_code = exit_code
+
+    def run(
+        self, commands: Sequence, capture_data: bool = False
+    ) -> RunResult:
+        if self.marker is None or _claim_marker(self.marker):
+            os._exit(self.exit_code)
+        if self.inner is None:
+            raise InjectedFault(
+                "worker-killer survived its kill but wraps no system"
+            )
+        return self.inner.run(commands, capture_data=capture_data)
+
+
+class CacheCorruptor:
+    """Vandalize a result-cache directory in reproducible ways.
+
+    Every method returns the path(s) it wrote, so tests can assert the
+    cache's reaction entry by entry.
+    """
+
+    def __init__(self, cache: Union[ResultCache, str, Path]):
+        self.cache = (
+            cache if isinstance(cache, ResultCache) else ResultCache(cache)
+        )
+
+    def torn_entry(self, key: str) -> Path:
+        """A write that died mid-flight: truncated JSON."""
+        path = self.cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"cycles": 12', encoding="utf-8")
+        return path
+
+    def garbage_entry(self, key: str) -> Path:
+        """Valid JSON, nonsense document (negative cycle count)."""
+        path = self.cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"cycles": -7}', encoding="utf-8")
+        return path
+
+    def non_dict_entry(self, key: str) -> Path:
+        """Valid JSON of the wrong shape entirely."""
+        path = self.cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('[1, 2, 3]', encoding="utf-8")
+        return path
+
+    def strays(self) -> list:
+        """Non-entry droppings maintenance paths must ignore: an
+        orphaned atomic-write temp file, a note, and a mismatched
+        fan-out name."""
+        fan = self.cache.root / "ab"
+        fan.mkdir(parents=True, exist_ok=True)
+        paths = [
+            fan / ".tmp-orphaned.json",
+            self.cache.root / "README",
+            fan / "zz-wrong-fanout.json",
+        ]
+        for path in paths:
+            path.write_text("not a cache entry", encoding="utf-8")
+        return paths

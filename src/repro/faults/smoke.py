@@ -1,0 +1,149 @@
+"""End-to-end containment proof: ``python -m repro faults-smoke``.
+
+Runs one engine batch over a worker pool with three live faults injected
+— a raising point, a watchdog-tripping cycle burner, and a hard-killed
+worker — alongside healthy points, then checks that
+
+1. every healthy point returns exactly the cycle count an inline
+   (``jobs=1``) engine computes for it;
+2. ``BatchResult.failures`` reports exactly the injected failures, with
+   the expected kinds;
+3. a transient fault (fails once, then heals) is absorbed by a
+   single-retry policy with no user-visible failure.
+
+Exit code 0 means the resilience layer contained everything.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+from typing import Callable, List, Tuple
+
+from repro.engine import (
+    ExperimentEngine,
+    ExperimentPoint,
+    KernelTraceSpec,
+    RetryPolicy,
+)
+from repro.faults import install_fault_systems, uninstall_fault_systems
+
+__all__ = ["run_faults_smoke"]
+
+
+def _healthy_points(elements: int) -> List[ExperimentPoint]:
+    return [
+        ExperimentPoint(
+            system=system,
+            trace=KernelTraceSpec(
+                kernel=kernel, stride=stride, elements=elements
+            ),
+        )
+        for kernel, stride in (("copy", 1), ("scale", 19))
+        for system in ("pva-sdram", "cacheline-serial")
+    ]
+
+
+def _fault_point(system: str, elements: int) -> ExperimentPoint:
+    return ExperimentPoint(
+        system=system,
+        trace=KernelTraceSpec(kernel="copy", stride=1, elements=elements),
+    )
+
+
+def run_faults_smoke(
+    jobs: int = 2,
+    timeout: float = 5.0,
+    elements: int = 64,
+    emit: Callable[[str], None] = None,
+) -> int:
+    """Run the containment smoke; return a process exit code."""
+    emit = emit if emit is not None else lambda line: print(
+        line, file=sys.stderr
+    )
+    checks: List[Tuple[str, bool]] = []
+
+    def check(label: str, passed: bool) -> None:
+        checks.append((label, passed))
+        emit(f"[faults-smoke] {'ok  ' if passed else 'FAIL'} {label}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-faults-") as state:
+        names = install_fault_systems(state_dir=Path(state))
+        try:
+            healthy = _healthy_points(elements)
+            faulty = [
+                _fault_point(names["raising"], elements),
+                _fault_point(names["burner"], elements),
+                _fault_point(names["killer"], elements),
+            ]
+            batch_points = healthy + faulty
+
+            reference = ExperimentEngine(jobs=1).run(healthy)
+
+            engine = ExperimentEngine(
+                jobs=jobs,
+                on_error="collect",
+                timeout=timeout,
+                degrade_after=99,  # never run the killer inline
+            )
+            emit(
+                f"[faults-smoke] running {len(batch_points)} points "
+                f"({len(faulty)} faulty) at jobs={jobs}, "
+                f"timeout={timeout}s ..."
+            )
+            batch = engine.run(batch_points)
+
+            check(
+                "healthy points match the inline reference",
+                list(batch[: len(healthy)]) == list(reference),
+            )
+            check(
+                f"exactly {len(faulty)} failures reported",
+                len(batch.failures) == len(faulty),
+            )
+            kinds = {
+                failure.point.system: (failure.kind, failure.error_type)
+                for failure in batch.failures
+            }
+            check(
+                "raising point contained as InjectedFault",
+                kinds.get(names["raising"])
+                == ("exception", "InjectedFault"),
+            )
+            check(
+                "cycle burner contained by the simulation watchdog",
+                kinds.get(names["burner"])
+                == ("exception", "SimulationTimeout"),
+            )
+            check(
+                "killed worker recovered via the per-point timeout",
+                kinds.get(names["killer"], ("", ""))[0] == "timeout",
+            )
+            check(
+                "timeout metric recorded the lost worker",
+                engine.metrics.timeouts >= 1,
+            )
+
+            retry_engine = ExperimentEngine(
+                jobs=jobs,
+                on_error="collect",
+                retry=RetryPolicy(retries=1, backoff_seconds=0.01),
+                timeout=timeout,
+            )
+            retry_batch = retry_engine.run(
+                [_fault_point(names["transient"], elements)] + healthy
+            )
+            check(
+                "transient fault absorbed by one retry",
+                retry_batch.ok and retry_engine.metrics.retries == 1,
+            )
+        finally:
+            uninstall_fault_systems()
+
+    failed = [label for label, passed in checks if not passed]
+    emit(
+        f"[faults-smoke] {len(checks) - len(failed)}/{len(checks)} "
+        "containment checks passed"
+    )
+    return 1 if failed else 0

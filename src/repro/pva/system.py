@@ -32,6 +32,7 @@ from repro.params import SystemParams
 from repro.bus.vector_bus import VectorBus
 from repro.pva.bank_controller import BankController
 from repro.sdram.device import DeviceStats, SDRAMDevice
+from repro.sim.runner import Watchdog
 from repro.sim.stats import BusStats, RunResult
 from repro.types import AccessType, ExplicitCommand, VectorCommand
 
@@ -45,11 +46,6 @@ def _command_length(command: AnyCommand) -> int:
     return command.vector.length
 
 __all__ = ["PVAMemorySystem"]
-
-#: Hard ceiling on simulated cycles, to turn scheduler bugs into errors
-#: instead of hangs.  Generous: the slowest serial baseline needs well
-#: under a thousand cycles per command.
-_MAX_CYCLES_PER_COMMAND = 4096
 
 
 @dataclass
@@ -196,14 +192,10 @@ class PVAMemorySystem:
         end_cycle = 0
         next_issue_allowed = 0
         issue_interval = self.params.issue_interval
-        limit = max(1, len(commands)) * _MAX_CYCLES_PER_COMMAND
+        watchdog = Watchdog(len(commands), system=self.name)
 
         while next_cmd < len(commands) or outstanding:
-            if cycle > limit:
-                raise ProtocolError(
-                    f"simulation exceeded {limit} cycles — scheduler "
-                    "deadlock or runaway trace"
-                )
+            watchdog.check(cycle)
             # -- release transaction ids whose staging transfer finished --
             if releases:
                 still: List[Tuple[int, int]] = []

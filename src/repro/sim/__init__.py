@@ -2,6 +2,20 @@
 runner protocol shared by the PVA unit and all baseline systems."""
 
 from repro.sim.stats import BusStats, RunResult
-from repro.sim.runner import MemorySystem
+from repro.sim.runner import (
+    MemorySystem,
+    SimulationLimits,
+    Watchdog,
+    active_limits,
+    simulation_limits,
+)
 
-__all__ = ["BusStats", "RunResult", "MemorySystem"]
+__all__ = [
+    "BusStats",
+    "RunResult",
+    "MemorySystem",
+    "SimulationLimits",
+    "Watchdog",
+    "active_limits",
+    "simulation_limits",
+]

@@ -149,5 +149,76 @@ def test_cache_corrupt_entry_is_a_miss(tmp_path):
 
 def test_cache_entry_without_cycles_is_a_miss(tmp_path):
     cache = ResultCache(tmp_path)
-    cache.put("ab" + "0" * 62, {"note": "no cycle count"})
-    assert cache.get("ab" + "0" * 62) is None
+    key = "ab" + "0" * 62
+    path = cache._path(key)
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps({"note": "no cycle count"}))
+    assert cache.get(key) is None
+
+
+class TestPutValidation:
+    """put() rejects documents without a non-negative integer cycles
+    field, so garbage never enters the cache in the first place."""
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            {"note": "no cycle count"},
+            {"cycles": -1},
+            {"cycles": 3.5},
+            {"cycles": "145"},
+            {"cycles": True},
+            {"cycles": None},
+        ],
+    )
+    def test_rejects_invalid_documents(self, tmp_path, document):
+        from repro.errors import CacheIntegrityError, ReproError
+
+        cache = ResultCache(tmp_path)
+        with pytest.raises(CacheIntegrityError):
+            cache.put("ab" + "0" * 62, document)
+        assert len(cache) == 0
+        # and the error is catchable as the library base class
+        with pytest.raises(ReproError):
+            cache.put("ab" + "0" * 62, document)
+
+    def test_accepts_zero_cycles(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" + "0" * 62, {"cycles": 0})
+        assert cache.get("ab" + "0" * 62)["cycles"] == 0
+
+
+class TestPollutedDirectory:
+    """Maintenance paths skip stray files, so a polluted cache
+    directory cannot crash (or be damaged by) __len__/clear."""
+
+    def _polluted(self, tmp_path):
+        from repro.faults import CacheCorruptor
+
+        cache = ResultCache(tmp_path)
+        cache.put("ab" + "0" * 62, {"cycles": 145})
+        strays = CacheCorruptor(cache).strays()
+        return cache, strays
+
+    def test_len_counts_entries_only(self, tmp_path):
+        cache, _ = self._polluted(tmp_path)
+        assert len(cache) == 1
+
+    def test_clear_removes_entries_and_spares_strays(self, tmp_path):
+        cache, strays = self._polluted(tmp_path)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        for stray in strays:
+            assert stray.exists()
+
+    def test_corrupted_entries_are_misses(self, tmp_path):
+        from repro.faults import CacheCorruptor
+
+        cache = ResultCache(tmp_path)
+        corruptor = CacheCorruptor(cache)
+        keys = ["aa" + "0" * 62, "bb" + "0" * 62, "cc" + "0" * 62]
+        corruptor.torn_entry(keys[0])
+        corruptor.garbage_entry(keys[1])
+        corruptor.non_dict_entry(keys[2])
+        for key in keys:
+            assert cache.get(key) is None

@@ -1,0 +1,114 @@
+"""Unit tests for the deterministic fault injectors."""
+
+import pytest
+
+from repro.api import available_systems, build_system, unregister_system
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationTimeout,
+)
+from repro.faults import (
+    FAULT_SYSTEM_NAMES,
+    CycleBurnerSystem,
+    InjectedFault,
+    RaisingSystem,
+    TransientFaultSystem,
+    WorkerKillerSystem,
+    install_fault_systems,
+    uninstall_fault_systems,
+)
+from repro.kernels import build_trace, kernel_by_name
+from repro.params import SystemParams
+
+
+@pytest.fixture
+def trace():
+    return build_trace(
+        kernel_by_name("copy"), stride=1, params=SystemParams(), elements=64
+    )
+
+
+def _healthy(params=None):
+    return build_system("pva-sdram", params or SystemParams())
+
+
+class TestRaisingSystem:
+    def test_raises_on_designated_command(self, trace):
+        system = RaisingSystem(_healthy(), fail_on_command=0)
+        with pytest.raises(InjectedFault):
+            system.run(trace)
+
+    def test_fault_is_a_repro_error(self, trace):
+        with pytest.raises(ReproError):
+            RaisingSystem(_healthy()).run(trace)
+
+    def test_short_traces_run_clean(self, trace):
+        system = RaisingSystem(_healthy(), fail_on_command=len(trace))
+        reference = _healthy().run(trace).cycles
+        assert system.run(trace).cycles == reference
+
+
+class TestTransientFaultSystem:
+    def test_fails_once_then_heals(self, tmp_path, trace):
+        marker = tmp_path / "attempted"
+        reference = _healthy().run(trace).cycles
+        system = TransientFaultSystem(_healthy(), marker=marker)
+        with pytest.raises(InjectedFault):
+            system.run(trace)
+        assert marker.exists()
+        assert system.run(trace).cycles == reference
+        # a fresh instance sharing the marker also sees the healed state
+        other = TransientFaultSystem(_healthy(), marker=marker)
+        assert other.run(trace).cycles == reference
+
+
+class TestCycleBurnerSystem:
+    def test_contained_by_watchdog(self, trace):
+        with pytest.raises(SimulationTimeout):
+            CycleBurnerSystem().run(trace)
+
+
+class TestWorkerKillerSystem:
+    def test_claimed_marker_delegates_to_inner(self, tmp_path, trace):
+        """Only the marker's claimant dies; later attempts run clean.
+        (The kill path itself is exercised through the engine pool in
+        tests/engine/test_resilience.py — inline it would kill pytest.)
+        """
+        marker = tmp_path / "fired"
+        marker.write_text("already fired")
+        system = WorkerKillerSystem(_healthy(), marker=marker)
+        assert system.run(trace).cycles == _healthy().run(trace).cycles
+
+
+class TestRegistry:
+    def test_install_and_uninstall(self, tmp_path):
+        names = install_fault_systems(state_dir=tmp_path)
+        try:
+            assert set(names) == {
+                "raising",
+                "burner",
+                "killer",
+                "transient",
+                "killer-once",
+            }
+            for name in names.values():
+                assert name in available_systems()
+        finally:
+            uninstall_fault_systems()
+        for name in FAULT_SYSTEM_NAMES.values():
+            assert name not in available_systems()
+
+    def test_install_without_state_dir_skips_stateful_injectors(self):
+        names = install_fault_systems()
+        try:
+            assert "transient" not in names
+            assert "killer-once" not in names
+            assert "raising" in names
+        finally:
+            uninstall_fault_systems()
+
+    def test_unregister_unknown_raises_unless_missing_ok(self):
+        with pytest.raises(ConfigurationError):
+            unregister_system("no-such-system")
+        unregister_system("no-such-system", missing_ok=True)

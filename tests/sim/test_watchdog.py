@@ -1,0 +1,109 @@
+"""The simulation watchdog: cycle and wall-clock containment."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError, SimulationTimeout
+from repro.sim.runner import (
+    SimulationLimits,
+    Watchdog,
+    active_limits,
+    simulation_limits,
+)
+
+
+class TestWatchdog:
+    def test_within_budget_is_silent(self):
+        dog = Watchdog(2, limits=SimulationLimits(max_cycles_per_command=10))
+        for cycle in range(20):
+            dog.check(cycle)
+
+    def test_cycle_budget_trips(self):
+        dog = Watchdog(2, limits=SimulationLimits(max_cycles_per_command=10))
+        with pytest.raises(SimulationTimeout):
+            dog.check(21)
+
+    def test_timeout_is_a_repro_error(self):
+        dog = Watchdog(1, limits=SimulationLimits(max_cycles_per_command=1))
+        with pytest.raises(ReproError):
+            dog.check(2)
+
+    def test_empty_trace_still_has_a_budget(self):
+        dog = Watchdog(0, limits=SimulationLimits(max_cycles_per_command=8))
+        dog.check(8)
+        with pytest.raises(SimulationTimeout):
+            dog.check(9)
+
+    def test_wall_clock_budget_trips(self):
+        dog = Watchdog(
+            1,
+            limits=SimulationLimits(
+                max_cycles_per_command=10**9, max_wall_seconds=0.05
+            ),
+        )
+        deadline = time.monotonic() + 10.0
+        with pytest.raises(SimulationTimeout):
+            while time.monotonic() < deadline:
+                dog.check(0)
+        assert time.monotonic() < deadline  # tripped, not timed out
+
+    def test_limits_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationLimits(max_cycles_per_command=0)
+        with pytest.raises(ConfigurationError):
+            SimulationLimits(max_wall_seconds=-1.0)
+
+
+class TestLimitsOverride:
+    def test_context_manager_scopes_the_override(self):
+        default = active_limits()
+        with simulation_limits(max_cycles_per_command=7) as limits:
+            assert limits.max_cycles_per_command == 7
+            assert active_limits() is limits
+            # the wall-clock default is untouched by a partial override
+            assert limits.max_wall_seconds == default.max_wall_seconds
+        assert active_limits() is default
+
+    def test_new_watchdogs_pick_up_the_override(self):
+        with simulation_limits(max_cycles_per_command=3):
+            dog = Watchdog(1)
+        with pytest.raises(SimulationTimeout):
+            dog.check(4)
+
+
+class TestSystemsAreContained:
+    """Every paper system runs its trace under a watchdog: shrink the
+    budget and a healthy run becomes a contained SimulationTimeout."""
+
+    @pytest.mark.parametrize(
+        "system",
+        ["pva-sdram", "pva-sram", "cacheline-serial", "gathering-serial"],
+    )
+    def test_tiny_budget_trips_each_system(self, system):
+        from repro.api import simulate
+        from repro.kernels import build_trace, kernel_by_name
+        from repro.params import SystemParams
+
+        params = SystemParams()
+        trace = build_trace(
+            kernel_by_name("copy"), stride=1, params=params, elements=256
+        )
+        with simulation_limits(max_cycles_per_command=1):
+            with pytest.raises(SimulationTimeout):
+                simulate(trace, params, system=system)
+
+    @pytest.mark.parametrize(
+        "system",
+        ["pva-sdram", "pva-sram", "cacheline-serial", "gathering-serial"],
+    )
+    def test_default_budget_is_generous(self, system):
+        from repro.api import simulate
+        from repro.kernels import build_trace, kernel_by_name
+        from repro.params import SystemParams
+
+        params = SystemParams()
+        trace = build_trace(
+            kernel_by_name("copy"), stride=19, params=params, elements=128
+        )
+        assert simulate(trace, params, system=system).cycles > 0

@@ -18,6 +18,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "12"])
 
+    def test_accepts_resilience_options(self):
+        args = build_parser().parse_args(
+            [
+                "grid",
+                "--on-error",
+                "collect",
+                "--retries",
+                "2",
+                "--timeout",
+                "10",
+            ]
+        )
+        assert args.on_error == "collect"
+        assert args.retries == 2
+        assert args.timeout == 10.0
+
+    def test_rejects_unknown_on_error_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["grid", "--on-error", "explode"])
+
+    def test_faults_smoke_subcommand_exists(self):
+        args = build_parser().parse_args(["faults-smoke", "--timeout", "3"])
+        assert args.command == "faults-smoke"
+        assert args.timeout == 3.0
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -101,6 +126,47 @@ class TestCommands:
     def test_sweep_invalid_elements(self, capsys):
         assert main(["sweep", "--elements", "65"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_faults_smoke_passes(self, capsys):
+        """The end-to-end containment harness behind ``python -m repro
+        faults-smoke`` reports success."""
+        assert main(["faults-smoke", "--timeout", "3"]) == 0
+        err = capsys.readouterr().err
+        assert "containment checks passed" in err
+        assert "FAIL" not in err
+
+    def test_grid_collect_renders_failed_cells(self, capsys):
+        """With --on-error collect an injected failure marks its cells
+        FAILED while the healthy system's column survives."""
+        from repro.faults import install_fault_systems, uninstall_fault_systems
+
+        names = install_fault_systems()
+        try:
+            code = main(
+                [
+                    "grid",
+                    "--kernel",
+                    "copy",
+                    "--stride",
+                    "1",
+                    "--alignment",
+                    "aligned",
+                    "--system",
+                    "pva-sdram",
+                    "--system",
+                    names["raising"],
+                    "--on-error",
+                    "collect",
+                    "--elements",
+                    "64",
+                ]
+            )
+        finally:
+            uninstall_fault_systems()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "pva-sdram" in out
 
     def test_all_artifacts(self, tmp_path, capsys):
         assert main(
