@@ -82,6 +82,11 @@ class CacheLineSerialSDRAM:
             seen.add(address >> shift)
         return len(seen)
 
+    def next_event_cycle(self, cycle: int) -> int:
+        """Time-skip interface: the analytic model jumps from command to
+        command with no idle cycles, so the next event is always "now"."""
+        return cycle
+
     def run(
         self,
         commands: Sequence[VectorCommand],

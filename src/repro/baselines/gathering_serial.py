@@ -67,6 +67,11 @@ class GatheringSerialSDRAM:
         # serial controller does not overlap with the next command).
         return 1 + access_cycles + self.transfer_cycles
 
+    def next_event_cycle(self, cycle: int) -> int:
+        """Time-skip interface: the analytic model jumps from command to
+        command with no idle cycles, so the next event is always "now"."""
+        return cycle
+
     def run(
         self,
         commands: Sequence[VectorCommand],

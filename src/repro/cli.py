@@ -17,6 +17,10 @@ Subcommands
     banks).
 ``complexity``
     Print the Table 1 complexity comparison.
+``bench``
+    Time the reference tick loop against the event-driven
+    cycle-skipping loop on the stride-19 grid slice and write
+    ``BENCH_sim.json`` (``--quick`` for the CI smoke workload).
 ``faults-smoke``
     Prove failure containment end to end: run a pool batch with a
     raising point, a watchdog-tripping cycle burner, and a killed
@@ -91,6 +95,12 @@ class _MetricsLine(EngineHooks):
                 f", {metrics.failures} failed / {metrics.retries} "
                 f"retried / {metrics.timeouts} timed out"
             )
+        throughput = ""
+        if metrics.sim_seconds > 0:
+            throughput = (
+                f", {metrics.sim_cycles_per_second / 1000.0:.1f}k "
+                f"sim-cycles/s"
+            )
         print(
             f"[engine] {metrics.points_done} points "
             f"({metrics.simulated} simulated, "
@@ -98,7 +108,7 @@ class _MetricsLine(EngineHooks):
             f"in {metrics.elapsed_seconds:.2f}s — "
             f"{metrics.points_per_second:.1f} points/s, "
             f"{metrics.jobs} job{'s' if metrics.jobs != 1 else ''}"
-            f"{resilience}",
+            f"{throughput}{resilience}",
             file=sys.stderr,
         )
 
@@ -247,6 +257,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-point budget; bounds how long the killed worker stalls",
     )
     smoke_parser.add_argument("--elements", type=int, default=64)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help=(
+            "time the reference tick loop against the event-driven "
+            "cycle-skipping loop on the stride-19 grid slice"
+        ),
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke workload: two kernels, one alignment",
+    )
+    bench_parser.add_argument("--elements", type=int, default=1024)
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="measurements per (system, mode); the best is kept",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default="BENCH_sim.json",
+        metavar="FILE",
+        help="JSON report path ('' to skip writing)",
+    )
+    bench_parser.add_argument(
+        "--system",
+        action="append",
+        choices=sorted(available_systems()),
+        help="memory system(s) to benchmark (default: all four)",
+    )
+    bench_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless skip is at least X times faster",
+    )
 
     sweep_parser = sub.add_parser(
         "sweep", help="dense stride sweep on one kernel"
@@ -405,6 +455,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_faults_smoke(
             jobs=args.jobs, timeout=args.timeout, elements=args.elements
         )
+    if args.command == "bench":
+        from repro.bench import main as bench_main
+
+        return bench_main(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "all":

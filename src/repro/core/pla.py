@@ -24,6 +24,7 @@ the simulator's per-cycle work mirrors the hardware's.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 from repro.core.decode import decompose_stride
@@ -35,6 +36,7 @@ __all__ = [
     "K1PLA",
     "NextHitPLA",
     "pla_product_terms",
+    "shared_k1_pla",
 ]
 
 
@@ -119,6 +121,21 @@ class K1PLA:
         return len(self._table)
 
 
+@lru_cache(maxsize=None)
+def shared_k1_pla(num_banks: int) -> K1PLA:
+    """Process-wide compiled K1 PLA for a bank count.
+
+    The table is pure function of ``num_banks`` and immutable after
+    construction (frozen :class:`K1Entry` rows, read-only queries), so
+    every system instance with the same geometry can share one copy —
+    the hardware analogy is exact: all bank controllers read the same
+    mask ROM.  Construction is O(M) table rows but happens per *system*
+    in hot sweep loops, so memoizing it is a real win for the
+    experiment engine.
+    """
+    return K1PLA(num_banks)
+
+
 class FullKiPLA:
     """Lookup table ``(S mod M, d) -> K_i`` — the low-latency,
     quadratically-growing design viable up to about 16 banks."""
@@ -133,7 +150,7 @@ class FullKiPLA:
             )
         self.num_banks = num_banks
         self._table: Dict[Tuple[int, int], int] = {}
-        helper = K1PLA(num_banks)
+        helper = shared_k1_pla(num_banks)
         for s_mod in range(num_banks):
             for d in range(num_banks):
                 k_i = helper.first_hit_index(s_mod, d)

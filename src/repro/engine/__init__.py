@@ -37,7 +37,11 @@ Quick start::
 """
 
 from repro.engine.cache import ResultCache
-from repro.engine.engine import ExperimentEngine, execute_point
+from repro.engine.engine import (
+    ExperimentEngine,
+    execute_point,
+    execute_point_timed,
+)
 from repro.engine.metrics import (
     EngineHooks,
     EngineMetrics,
@@ -77,4 +81,5 @@ __all__ = [
     "point_key",
     "build_point_trace",
     "execute_point",
+    "execute_point_timed",
 ]

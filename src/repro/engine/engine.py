@@ -66,7 +66,7 @@ from repro.errors import (
     PointFailedError,
 )
 
-__all__ = ["ExperimentEngine", "execute_point"]
+__all__ = ["ExperimentEngine", "execute_point", "execute_point_timed"]
 
 #: Idle-poll interval of the pool result loop, seconds.
 _POLL_SECONDS = 0.005
@@ -78,9 +78,20 @@ def execute_point(point: ExperimentPoint) -> int:
     Module-level so it pickles by reference into pool workers; also the
     single-process execution path, keeping both modes byte-identical.
     """
+    return execute_point_timed(point)[0]
+
+
+def execute_point_timed(point: ExperimentPoint) -> Tuple[int, float]:
+    """Simulate one point; return ``(cycles, host_seconds)``.
+
+    The wall clock covers trace construction plus the simulation proper —
+    what a worker actually spends on the point — so the engine can report
+    simulated-cycles-per-second throughput."""
+    started = time.perf_counter()
     trace = build_point_trace(point)
     system = build_system(point.system, point.params)
-    return system.run(trace).cycles
+    cycles = system.run(trace).cycles
+    return cycles, time.perf_counter() - started
 
 
 def _pool_context():
@@ -123,12 +134,14 @@ class _Task:
 
 
 #: One streamed execution outcome: exactly one of ``cycles`` / ``failure``
-#: is set; ``error`` carries the original exception object when there is
-#: one to re-raise in ``on_error="raise"`` mode.
+#: is set; ``sim_seconds`` is the executing worker's wall clock for the
+#: point (None on failure); ``error`` carries the original exception
+#: object when there is one to re-raise in ``on_error="raise"`` mode.
 _Outcome = Tuple[
     str,
     ExperimentPoint,
     Optional[int],
+    Optional[float],
     Optional[PointFailure],
     Optional[BaseException],
 ]
@@ -242,8 +255,18 @@ class ExperimentEngine:
                 results[index] = cycles
                 metrics.cache_hits += 1
                 metrics.points_done += 1
+                stored_seconds = cached.get("sim_seconds")
                 self.hooks.point_done(
-                    PointOutcome(index, point, cycles, cached=True), metrics
+                    PointOutcome(
+                        index,
+                        point,
+                        cycles,
+                        cached=True,
+                        sim_seconds=stored_seconds
+                        if isinstance(stored_seconds, (int, float))
+                        else None,
+                    ),
+                    metrics,
                 )
                 continue
             waiting[key] = [index]
@@ -252,14 +275,24 @@ class ExperimentEngine:
         # Execute the unique misses, streaming outcomes as they land
         # (results are index-keyed, so completion order is irrelevant).
         try:
-            for key, point, cycles, failure, error in self._execute(pending):
+            for key, point, cycles, seconds, failure, error in self._execute(
+                pending
+            ):
                 if failure is None:
                     if self.cache is not None:
                         self.cache.put(
-                            key, {"cycles": cycles, "point": point.describe()}
+                            key,
+                            {
+                                "cycles": cycles,
+                                "sim_seconds": seconds,
+                                "point": point.describe(),
+                            },
                         )
                     indices = waiting.pop(key)
                     metrics.simulated += 1
+                    metrics.simulated_cycles += cycles
+                    if seconds is not None:
+                        metrics.sim_seconds += seconds
                     for position, index in enumerate(indices):
                         results[index] = cycles
                         metrics.points_done += 1
@@ -270,6 +303,7 @@ class ExperimentEngine:
                                 cycles,
                                 cached=False,
                                 coalesced=position > 0,
+                                sim_seconds=seconds,
                             ),
                             metrics,
                         )
@@ -329,7 +363,8 @@ class ExperimentEngine:
         while True:
             attempts += 1
             try:
-                return key, point, execute_point(point), None, None
+                cycles, seconds = execute_point_timed(point)
+                return key, point, cycles, seconds, None, None
             except Exception as error:
                 if self.retry.should_retry(attempts):
                     self.metrics.retries += 1
@@ -338,7 +373,7 @@ class ExperimentEngine:
                         time.sleep(delay)
                     continue
                 failure = self._failure_from(point, error, attempts)
-                return key, point, None, failure, error
+                return key, point, None, None, failure, error
 
     # ------------------------------------------------------------- #
     # Pool execution
@@ -389,7 +424,7 @@ class ExperimentEngine:
                         progressed = True
                         del live[task_id]
                         try:
-                            cycles = task.async_result.get()
+                            cycles, seconds = task.async_result.get()
                         except Exception as error:
                             if self.retry.should_retry(task.attempts):
                                 self.metrics.retries += 1
@@ -403,13 +438,14 @@ class ExperimentEngine:
                                 task.key,
                                 task.point,
                                 None,
+                                None,
                                 self._failure_from(
                                     task.point, error, task.attempts
                                 ),
                                 error,
                             )
                             continue
-                        yield task.key, task.point, cycles, None, None
+                        yield task.key, task.point, cycles, seconds, None, None
                     elif task.deadline is not None and now > task.deadline:
                         # Hung simulation or killed worker: its result
                         # will never arrive (a late one is discarded).
@@ -431,6 +467,7 @@ class ExperimentEngine:
                             task.key,
                             task.point,
                             None,
+                            None,
                             self._timeout_failure(task),
                             None,
                         )
@@ -446,10 +483,10 @@ class ExperimentEngine:
                 if ready is None or not ready.ready():
                     continue
                 try:
-                    cycles = ready.get(0)
+                    cycles, seconds = ready.get(0)
                 except Exception:
                     continue
-                yield task.key, task.point, cycles, None, None
+                yield task.key, task.point, cycles, seconds, None, None
             raise
         finally:
             pool.terminate()
@@ -485,7 +522,9 @@ class ExperimentEngine:
     def _submit(self, pool, task: "_Task") -> bool:
         """Start one attempt of ``task``; False if the pool is broken."""
         try:
-            async_result = pool.apply_async(execute_point, (task.point,))
+            async_result = pool.apply_async(
+                execute_point_timed, (task.point,)
+            )
         except Exception:
             return False
         task.attempts += 1

@@ -10,7 +10,7 @@ running :class:`EngineMetrics` snapshot (points/sec, cache hit rate).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.resilience import PointFailure
@@ -28,6 +28,10 @@ class PointOutcome:
     cycles: int
     cached: bool  #: served from the on-disk cache
     coalesced: bool = False  #: shared another identical point's execution
+    #: Host wall-clock seconds the executing worker spent simulating this
+    #: point (shared by coalesced twins; stored value for cache hits;
+    #: None for entries written before the field existed).
+    sim_seconds: Optional[float] = None
 
 
 @dataclass
@@ -45,6 +49,8 @@ class EngineMetrics:
     retries: int = 0  #: re-attempts consumed by the retry policy
     timeouts: int = 0  #: per-point deadline expiries (incl. retried ones)
     degraded: int = 0  #: points run inline after the pool was abandoned
+    simulated_cycles: int = 0  #: simulated cycles across unique executions
+    sim_seconds: float = 0.0  #: worker wall clock across unique executions
 
     @property
     def cache_hit_rate(self) -> float:
@@ -58,6 +64,15 @@ class EngineMetrics:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.points_done / self.elapsed_seconds
+
+    @property
+    def sim_cycles_per_second(self) -> float:
+        """Simulated-cycles-per-host-second throughput over the unique
+        executions (cache hits and coalesced twins cost no sim time, so
+        they are excluded from both numerator and denominator)."""
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.simulated_cycles / self.sim_seconds
 
     def summary(self) -> dict:
         return {
@@ -73,6 +88,9 @@ class EngineMetrics:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "degraded": self.degraded,
+            "simulated_cycles": self.simulated_cycles,
+            "sim_seconds": round(self.sim_seconds, 3),
+            "sim_cycles_per_second": round(self.sim_cycles_per_second, 1),
         }
 
 

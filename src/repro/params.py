@@ -153,6 +153,11 @@ class SystemParams:
     #: 0 models the paper's infinitely fast CPU (section 6.2); larger
     #: values model a processor that produces commands at a finite rate.
     issue_interval: int = 0
+    #: Select the next-event time-skip run loop (the fast path): the
+    #: simulator jumps idle gaps instead of ticking through them.
+    #: Cycle-exact with the reference tick loop (False); the
+    #: ``REPRO_TIME_SKIP`` environment variable overrides this field.
+    time_skip: bool = True
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.num_banks):

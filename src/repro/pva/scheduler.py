@@ -33,14 +33,19 @@ from repro.params import SystemParams
 from repro.pva.request import BCRequest
 from repro.pva.rowpolicy import make_row_policy
 from repro.pva.vector_context import VectorContext
+from repro.sim.events import HORIZON
 
 __all__ = ["IssuedColumn", "AccessScheduler"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class IssuedColumn:
     """A column (data-moving) operation issued this cycle, reported back to
-    the bank controller so it can route data to the staging units."""
+    the bank controller so it can route data to the staging units.
+
+    One is built per simulated column access — the hottest allocation in
+    the simulator — so it trades ``frozen`` enforcement for the cheap
+    plain-``__init__`` of a slots dataclass."""
 
     txn_id: int
     is_write: bool
@@ -149,6 +154,68 @@ class AccessScheduler:
         if issued is None:
             self.idle_cycles += 1
         return issued
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Earliest cycle at or after ``cycle`` at which this scheduler
+        could issue an operation, assuming no external state change.
+
+        Mirrors :meth:`tick` decision by decision, but instead of asking
+        "may this operation issue *now*?" it asks each restimer/pin
+        scoreboard "when does time alone make it legal?":
+
+        * a context wanting an **activate** (its bank closed) becomes
+          issuable at the activate restimer's release;
+        * a context allowed to **precharge** (conflicting row open, and
+          either unopposed or oldest) at the precharge release;
+        * a **column** whose row is already open at the later of the
+          column restimer and the shared data pins (with turnaround when
+          the direction reverses), walked in the polarity-rule order —
+          a pending reversal in an older context fences younger ones
+          exactly as in :meth:`_try_column`;
+        * everything else (a blocked precharge, a column whose row is
+          closed) only unblocks through *another* event, so contributes
+          :data:`~repro.sim.events.HORIZON`.
+
+        The result is a conservative lower bound: the scheduler provably
+        idles on every cycle strictly before it.
+        """
+        if not self.window:
+            return HORIZON
+        device = self.device
+        bound = HORIZON
+        if device.has_rows:
+            for position, vc in enumerate(self.window):
+                if vc.done:
+                    continue
+                addr = vc.local_addr
+                if device.row_is_open_for(addr):
+                    continue
+                loc = device.locate(addr)
+                if device.conflicting_row_open(addr):
+                    if position != 0 and self._vc_hits_open_row(
+                        loc.internal_bank, exclude=vc
+                    ):
+                        continue
+                    ready = device.banks[loc.internal_bank].precharge_ready_at
+                else:
+                    ready = device.banks[loc.internal_bank].activate_ready_at
+                if ready < bound:
+                    bound = ready
+        last_was_write = device.last_was_write
+        position = 0
+        for vc in self.window:
+            if vc.done:
+                continue
+            matches = last_was_write is None or vc.is_write == last_was_write
+            if not matches and position != 0:
+                break
+            ready = device.column_ready_at(vc.local_addr, vc.is_write)
+            if ready < bound:
+                bound = ready
+            if not matches:
+                break
+            position += 1
+        return bound if bound > cycle else cycle
 
     def _try_row_operation(self, cycle: int) -> bool:
         """Promoted activates/precharges, oldest context first."""

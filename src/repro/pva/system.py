@@ -24,7 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.pla import K1PLA
+from repro.core.pla import shared_k1_pla
 from repro.errors import ConfigurationError, ProtocolError, VectorSpecError
 from repro.interleave.logical import LogicalBankView
 from repro.interleave.schemes import InterleaveScheme
@@ -32,6 +32,7 @@ from repro.params import SystemParams
 from repro.bus.vector_bus import VectorBus
 from repro.pva.bank_controller import BankController
 from repro.sdram.device import DeviceStats, SDRAMDevice
+from repro.sim.events import HORIZON, time_skip_enabled
 from repro.sim.runner import Watchdog
 from repro.sim.stats import BusStats, RunResult
 from repro.types import AccessType, ExplicitCommand, VectorCommand
@@ -110,7 +111,7 @@ class PVAMemorySystem:
             if self.interleave is not None
             else None
         )
-        pla = K1PLA(self.params.num_banks)
+        pla = shared_k1_pla(self.params.num_banks)
         self.banks: List[BankController] = [
             BankController(bank, self.params, device_factory(self.params), pla)
             for bank in range(self.params.num_banks)
@@ -193,15 +194,28 @@ class PVAMemorySystem:
         next_issue_allowed = 0
         issue_interval = self.params.issue_interval
         watchdog = Watchdog(len(commands), system=self.name)
+        #: Fast path: jump idle gaps via next-event lower bounds instead
+        #: of ticking through them.  Cycle-exact with the reference loop
+        #: — skipped cycles are exactly the iterations that change no
+        #: state (see repro.sim.events).
+        time_skip = time_skip_enabled(self.params)
+        for bank in self.banks:
+            bank.time_skip = time_skip
 
         while next_cmd < len(commands) or outstanding:
             watchdog.check(cycle)
+            #: Did this iteration change any front-end-visible state?
+            #: Tracked only to decide whether computing a skip target is
+            #: worthwhile; missing an action is harmless (the bound is
+            #: recomputed from current state and stays conservative).
+            acted = False
             # -- release transaction ids whose staging transfer finished --
             if releases:
                 still: List[Tuple[int, int]] = []
                 for when, txn_id in releases:
                     if when <= cycle:
                         free_ids.append(txn_id)
+                        acted = True
                     else:
                         still.append((when, txn_id))
                 releases = still
@@ -218,6 +232,7 @@ class PVAMemorySystem:
                     and cycle >= next_issue_allowed
                 )
                 if stage_queue and not issue_first:
+                    acted = True
                     txn = stage_queue.popleft()
                     line = self._assemble_line(txn.txn_id, commands[txn.trace_index])
                     if read_lines is not None:
@@ -230,6 +245,7 @@ class PVAMemorySystem:
                     del outstanding[txn.txn_id]
                     end_cycle = max(end_cycle, transfer_end)
                 elif issue_first:
+                    acted = True
                     command = commands[next_cmd]
                     txn_id = free_ids.popleft()
                     request_cycles = (
@@ -282,8 +298,11 @@ class PVAMemorySystem:
 
             # -- clock the bank controllers -------------------------------
             for bank in self.banks:
+                if time_skip and bank.quiet_at(cycle):
+                    continue
                 issued = bank.tick(cycle)
                 if issued is not None:
+                    acted = True
                     txn = outstanding.get(issued.txn_id)
                     if txn is None:
                         raise ProtocolError(
@@ -299,6 +318,7 @@ class PVAMemorySystem:
                 if txn.done < txn.expected or cycle < txn.last_data_cycle:
                     continue
                 if txn.is_write:
+                    acted = True
                     for bank in self.banks:
                         bank.release_write(txn.txn_id)
                     free_ids.append(txn.txn_id)
@@ -306,10 +326,53 @@ class PVAMemorySystem:
                     del outstanding[txn.txn_id]
                     end_cycle = max(end_cycle, cycle + 1)
                 elif not txn.staged:
+                    acted = True
                     txn.staged = True
                     stage_queue.append(txn)
 
-            cycle += 1
+            # -- advance time ---------------------------------------------
+            # Reference loop: one cycle at a time.  Fast path: after an
+            # iteration that changed nothing, jump straight to the
+            # earliest cycle at which anything *could* happen — the min
+            # over every component's next-event lower bound.  Any bound
+            # at or below the current cycle degrades to a plain tick, so
+            # underestimates cost time, never correctness.
+            if time_skip and not acted:
+                target = HORIZON
+                for when, _txn_id in releases:
+                    if when < target:
+                        target = when
+                if stage_queue and bus.busy_until < target:
+                    # A staged read waits only for the bus.
+                    target = bus.busy_until
+                if next_cmd < len(commands) and free_ids:
+                    # The next broadcast waits for the bus and the issue
+                    # throttle; with no free transaction id it instead
+                    # unblocks via a completion/release event above.
+                    gate = bus.busy_until
+                    if next_issue_allowed > gate:
+                        gate = next_issue_allowed
+                    if gate < target:
+                        target = gate
+                for txn in outstanding.values():
+                    # A fully-issued transaction completes once its last
+                    # data cycle passes.  Already-staged reads are the
+                    # bus's problem, handled above.
+                    if txn.done >= txn.expected and not txn.staged:
+                        if txn.last_data_cycle < target:
+                            target = txn.last_data_cycle
+                for bank in self.banks:
+                    bound = bank.next_event_cycle(cycle)
+                    if bound < target:
+                        target = bound
+                # Never jump past the watchdog's deadline: a deadlocked
+                # run must still raise SimulationTimeout.
+                limit = watchdog.cycle_limit + 1
+                if target > limit:
+                    target = limit
+                cycle = target if target > cycle else cycle + 1
+            else:
+                cycle += 1
 
         device_stats = self._aggregate_device_stats()
         reads = sum(1 for c in commands if c.access is AccessType.READ)

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SchedulingError
 from repro.params import SDRAMTiming
+from repro.sim.events import HORIZON
 from repro.sdram.bank import InternalBank
 from repro.sdram.commands import SDRAMCommand
 from repro.sdram.devstats import DeviceStats
@@ -58,6 +59,11 @@ class SDRAMDevice:
         self._ib_bits = timing.internal_banks.bit_length() - 1
         self._row_mask = timing.row_words - 1
         self._row_bits = timing.row_words.bit_length() - 1
+        #: locate() memo — the mapping is pure, and the scheduler asks
+        #: for the same handful of in-flight words every cycle, so
+        #: caching the frozen Location wins back the dataclass
+        #: construction cost on the hot path.
+        self._loc_cache: Dict[int, Location] = {}
         # Shared data-pin state.
         self._last_column_cycle = -10
         self._last_was_write: Optional[bool] = None
@@ -92,11 +98,15 @@ class SDRAMDevice:
         Consecutive rows rotate internal banks, so streams that walk local
         addresses linearly alternate row buffers.
         """
-        column = local_word & self._row_mask
-        row_seq = local_word >> self._row_bits
-        internal_bank = row_seq & self._ib_mask
-        row = row_seq >> self._ib_bits
-        return Location(internal_bank=internal_bank, row=row, column=column)
+        loc = self._loc_cache.get(local_word)
+        if loc is None:
+            column = local_word & self._row_mask
+            row_seq = local_word >> self._row_bits
+            internal_bank = row_seq & self._ib_mask
+            row = row_seq >> self._ib_bits
+            loc = Location(internal_bank=internal_bank, row=row, column=column)
+            self._loc_cache[local_word] = loc
+        return loc
 
     def open_row(self, internal_bank: int) -> Optional[int]:
         return self.banks[internal_bank].open_row
@@ -137,6 +147,48 @@ class SDRAMDevice:
         loc = self.locate(local_word)
         open_row = self.banks[loc.internal_bank].open_row
         return open_row is not None and open_row != loc.row
+
+    # ----------------------------------------------------------------- #
+    # Time-skip lower bounds
+    # ----------------------------------------------------------------- #
+
+    @property
+    def next_refresh_cycle(self) -> Optional[int]:
+        """Cycle the next auto-refresh fires, or None when disabled."""
+        return self._next_refresh
+
+    def pins_ready_at(self, is_write: bool) -> int:
+        """First cycle the shared data pins accept a transfer in the
+        given direction (one CAS per cycle + turnaround on reversal)."""
+        if self._last_was_write is not None and self._last_was_write != is_write:
+            return self._last_column_cycle + 1 + self.bus_turnaround
+        return self._last_column_cycle + 1
+
+    def column_ready_at(self, local_word: int, is_write: bool) -> int:
+        """Earliest cycle a CAS to ``local_word`` could become legal by
+        the passage of time alone.  :data:`~repro.sim.events.HORIZON`
+        when the word's row is not open — opening it takes an activate,
+        which is itself an observable event."""
+        loc = self.locate(local_word)
+        bank = self.banks[loc.internal_bank]
+        if bank.open_row != loc.row:
+            return HORIZON
+        ready = bank.column_ready_at
+        pins = self.pins_ready_at(is_write)
+        return ready if ready > pins else pins
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Earliest cycle at or after ``cycle`` at which any device
+        resource (an internal bank's restimers, or the refresh engine)
+        releases — the device's generic time-skip lower bound."""
+        bound = HORIZON
+        if self._next_refresh is not None:
+            bound = self._next_refresh
+        for bank in self.banks:
+            ready = bank.next_event_cycle(cycle)
+            if ready < bound:
+                bound = ready
+        return bound if bound > cycle else cycle
 
     # ----------------------------------------------------------------- #
     # Commands

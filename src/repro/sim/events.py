@@ -1,0 +1,61 @@
+"""Next-event time skipping: the shared vocabulary of the fast path.
+
+Cycle-accurate simulation traditionally advances the clock one cycle per
+loop iteration, even though every stalled component already knows the
+exact cycle at which its state can next change — an SDRAM restimer holds
+its release cycle, the vector bus its busy-until cycle, a queued request
+its ready cycle.  The **time-skip engine** exploits that: each component
+exposes a ``next_event_cycle(cycle)`` lower bound, the run loop takes the
+``min()`` over all of them, and when nothing happened this cycle the
+clock jumps straight to that bound instead of ticking through the idle
+gap.
+
+The contract every bound must honour:
+
+* it is a **lower bound** — the component provably takes no action and
+  changes no observable state at any cycle strictly between ``cycle``
+  and the returned value, *assuming no other component acts either*
+  (the run loop only skips when the whole machine was idle, so any
+  cross-component interaction resets the search);
+* it may be **conservative** — returning ``cycle`` itself (or any
+  earlier-than-necessary cycle) merely degrades the skip to a plain
+  tick, never changes simulated behaviour;
+* :data:`HORIZON` means "no self-timed event pending": the component
+  can only be re-enabled by another component's action.
+
+Because skipped cycles are exactly the iterations in which the reference
+tick loop performs no state change, the fast path is cycle-exact with
+``SystemParams.time_skip=False`` — the differential suite in
+``tests/sim/test_time_skip_equivalence.py`` holds the two loops to
+byte-identical :class:`~repro.sim.stats.RunResult`\\ s.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["HORIZON", "time_skip_enabled"]
+
+#: Sentinel "infinitely far" cycle: no self-timed event pending.  An int
+#: (not ``float('inf')``) so arithmetic on simulated cycles stays exact.
+HORIZON = 1 << 62
+
+#: Environment variable overriding :attr:`SystemParams.time_skip`:
+#: ``0``/``off``/``false``/``no`` forces the reference tick loop,
+#: any other non-empty value (except ``auto``) forces the fast path.
+ENV_TOGGLE = "REPRO_TIME_SKIP"
+
+_FALSY = ("0", "off", "false", "no")
+
+
+def time_skip_enabled(params) -> bool:
+    """Resolve the effective run-loop mode for ``params``.
+
+    The :data:`ENV_TOGGLE` environment variable wins over the parameter
+    when set (and not ``auto``/empty), so a whole experiment tree can be
+    forced onto either loop without touching configuration objects.
+    """
+    env = os.environ.get(ENV_TOGGLE)
+    if env is not None and env != "" and env.lower() != "auto":
+        return env.lower() not in _FALSY
+    return params.time_skip

@@ -99,11 +99,19 @@ class Watchdog:
 
     Construct one per ``run`` call with the trace length, then call
     :meth:`check` with the current simulated cycle once per loop
-    iteration.  The wall clock is only consulted every 1024 checks, so
-    the per-iteration cost is an integer compare.
+    iteration.  The wall clock is consulted every 1024 checks *or*
+    every 1024 simulated cycles, whichever comes first; the common-case
+    per-iteration cost stays an integer compare.  The cycle-stride
+    probe matters under the time-skip run loop, where a single check
+    can stand for thousands of skipped cycles — counting checks alone
+    would let a slow run blow far past its wall-clock budget; the
+    check-count probe still covers loops that stall without advancing
+    the cycle counter.
     """
 
     _WALL_CHECK_MASK = 1023
+    #: Simulated-cycle stride between wall-clock probes.
+    _WALL_PROBE_STRIDE = 1024
 
     def __init__(
         self,
@@ -121,6 +129,7 @@ class Watchdog:
             else None
         )
         self._checks = 0
+        self._next_wall_probe_cycle = 0
 
     def check(self, cycle: int) -> None:
         """Raise :class:`SimulationTimeout` if a budget is exhausted."""
@@ -130,15 +139,18 @@ class Watchdog:
                 "cycles — scheduler deadlock or runaway trace"
             )
         self._checks += 1
+        if self.deadline is None:
+            return
         if (
-            self.deadline is not None
-            and not self._checks & self._WALL_CHECK_MASK
-            and time.monotonic() > self.deadline
+            cycle >= self._next_wall_probe_cycle
+            or not self._checks & self._WALL_CHECK_MASK
         ):
-            raise SimulationTimeout(
-                f"{self.system}: simulation exceeded its wall-clock "
-                f"budget at cycle {cycle}"
-            )
+            self._next_wall_probe_cycle = cycle + self._WALL_PROBE_STRIDE
+            if time.monotonic() > self.deadline:
+                raise SimulationTimeout(
+                    f"{self.system}: simulation exceeded its wall-clock "
+                    f"budget at cycle {cycle}"
+                )
 
 
 class MemorySystem(Protocol):

@@ -37,6 +37,8 @@ class SRAMDevice:
         self.turnarounds = 0
         #: Optional command recorder (see repro.sim.trace_log).
         self.log = None
+        #: locate() memo (the mapping is pure; see SDRAMDevice.locate).
+        self._loc_cache = {}
 
     @property
     def last_was_write(self) -> Optional[bool]:
@@ -46,7 +48,11 @@ class SRAMDevice:
     # --- geometry: a single flat "row" ------------------------------- #
 
     def locate(self, local_word: int) -> Location:
-        return Location(internal_bank=0, row=0, column=local_word)
+        loc = self._loc_cache.get(local_word)
+        if loc is None:
+            loc = Location(internal_bank=0, row=0, column=local_word)
+            self._loc_cache[local_word] = loc
+        return loc
 
     def open_row(self, internal_bank: int) -> Optional[int]:
         return 0
@@ -74,6 +80,25 @@ class SRAMDevice:
 
     def conflicting_row_open(self, local_word: int) -> bool:
         return False
+
+    # --- time-skip lower bounds ---------------------------------------- #
+
+    def pins_ready_at(self, is_write: bool) -> int:
+        """First cycle the shared data pins accept a transfer in the
+        given direction — the SRAM's only structural constraint."""
+        if self._last_was_write is not None and self._last_was_write != is_write:
+            return self._last_column_cycle + 1 + self.bus_turnaround
+        return self._last_column_cycle + 1
+
+    def column_ready_at(self, local_word: int, is_write: bool) -> int:
+        """Earliest cycle an access to ``local_word`` could become legal
+        by time alone (no rows: the pins are the only restriction)."""
+        return self.pins_ready_at(is_write)
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Generic time-skip bound: the pin release in either direction."""
+        ready = self._last_column_cycle + 1
+        return ready if ready > cycle else cycle
 
     # --- commands ------------------------------------------------------ #
 

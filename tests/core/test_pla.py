@@ -118,3 +118,50 @@ def test_k1_pla_with_nonzero_base(stride, base, m):
     for bank in range(m):
         d = (bank - b0) % m
         assert pla.first_hit_index(stride, d) == first_hit(v, bank, m)
+
+
+class TestSharedK1PLA:
+    """The process-wide memoized K1 PLA (one compiled table per bank
+    count, shared by every system instance)."""
+
+    def test_same_bank_count_shares_one_instance(self):
+        from repro.core.pla import shared_k1_pla
+
+        assert shared_k1_pla(16) is shared_k1_pla(16)
+
+    def test_distinct_bank_counts_get_distinct_tables(self):
+        from repro.core.pla import shared_k1_pla
+
+        assert shared_k1_pla(8) is not shared_k1_pla(16)
+        assert len(shared_k1_pla(8)) != len(shared_k1_pla(16))
+
+    def test_systems_share_the_compiled_table(self):
+        from repro.api import build_system
+        from repro.params import SystemParams
+
+        params = SystemParams()
+        first = build_system("pva-sdram", params)
+        second = build_system("pva-sdram", params)
+        assert first.banks[0].fhp.pla is second.banks[0].fhp.pla
+
+    def test_shared_table_is_immutable(self):
+        """No aliasing hazard: the shared entries are frozen, so one
+        system cannot perturb another through the cache."""
+        import dataclasses
+
+        from repro.core.pla import shared_k1_pla
+
+        entry = shared_k1_pla(16).entry(12)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            entry.s = 99
+
+    def test_shared_table_matches_fresh_table(self):
+        from repro.core.pla import shared_k1_pla
+
+        fresh = K1PLA(16)
+        shared = shared_k1_pla(16)
+        for stride in range(1, 40):
+            for d in range(16):
+                assert shared.first_hit_index(
+                    stride, d
+                ) == fresh.first_hit_index(stride, d)

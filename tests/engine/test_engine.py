@@ -154,3 +154,56 @@ def test_unknown_kernel_raises():
     )
     with pytest.raises(ConfigurationError):
         ExperimentEngine(jobs=1).run_one(bogus)
+
+
+class TestSimThroughputMetrics:
+    """Per-point simulated cycles + host seconds (cycles/sec) metrics."""
+
+    def test_execute_point_timed_matches_untimed(self):
+        from repro.engine import execute_point_timed
+
+        point = _points()[0]
+        cycles, seconds = execute_point_timed(point)
+        assert cycles == execute_point(point)
+        assert seconds > 0
+
+    def test_metrics_accumulate_cycles_and_seconds(self):
+        points = _points()
+        engine = ExperimentEngine(jobs=1)
+        results = engine.run(points)
+        assert engine.metrics.simulated_cycles == sum(results)
+        assert engine.metrics.sim_seconds > 0
+        assert engine.metrics.sim_cycles_per_second > 0
+        summary = engine.metrics.summary()
+        assert summary["simulated_cycles"] == sum(results)
+        assert summary["sim_cycles_per_second"] > 0
+
+    def test_outcomes_carry_sim_seconds(self):
+        recorder = Recorder()
+        engine = ExperimentEngine(jobs=1, hooks=recorder)
+        engine.run(_points())
+        assert recorder.outcomes
+        assert all(
+            outcome.sim_seconds is not None and outcome.sim_seconds >= 0
+            for outcome in recorder.outcomes
+        )
+
+    def test_cache_hits_cost_no_sim_time(self, tmp_path):
+        points = _points()
+        ExperimentEngine(jobs=1, cache_dir=tmp_path).run(points)
+        recorder = Recorder()
+        warm = ExperimentEngine(jobs=1, cache_dir=tmp_path, hooks=recorder)
+        warm.run(points)
+        assert warm.metrics.sim_seconds == 0.0
+        assert warm.metrics.simulated_cycles == 0
+        # ... but the stored execution time is surfaced per outcome.
+        assert all(outcome.cached for outcome in recorder.outcomes)
+        assert all(
+            outcome.sim_seconds is not None for outcome in recorder.outcomes
+        )
+
+    def test_pool_reports_seconds_too(self):
+        engine = ExperimentEngine(jobs=2)
+        results = engine.run(_points())
+        assert engine.metrics.simulated_cycles == sum(results)
+        assert engine.metrics.sim_seconds > 0

@@ -1,0 +1,194 @@
+"""Differential tests: the event-driven cycle-skipping run loop must be
+cycle-exact with the reference tick loop.
+
+Every test runs the same trace twice — ``time_skip=False`` (the
+cycle-by-cycle reference) and ``time_skip=True`` (the next-event
+fast path) — and asserts the two :class:`~repro.sim.stats.RunResult`
+objects are **equal**, which covers cycle counts, per-command latencies,
+device statistics, bus statistics, and (with ``capture_data=True``) the
+gathered data payloads.  An underestimated lower bound can only cost
+speed; an *overestimated* one would show up here as a divergence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.api import available_systems, simulate
+from repro.kernels import ALIGNMENTS, build_trace, kernel_by_name
+from repro.params import SDRAMTiming, SystemParams
+from repro.sim.events import ENV_TOGGLE
+
+ALL_SYSTEMS = available_systems()
+PAPER_STRIDES = (1, 2, 4, 8, 16, 19)
+
+
+@pytest.fixture(autouse=True)
+def _no_env_override(monkeypatch):
+    """The differential harness controls the mode through params alone."""
+    monkeypatch.delenv(ENV_TOGGLE, raising=False)
+
+
+def assert_modes_agree(trace, params, system, capture_data=False):
+    tick = simulate(
+        trace,
+        replace(params, time_skip=False),
+        system=system,
+        capture_data=capture_data,
+    )
+    skip = simulate(
+        trace,
+        replace(params, time_skip=True),
+        system=system,
+        capture_data=capture_data,
+    )
+    assert tick == skip, (
+        f"{system}: time-skip diverged from the tick loop "
+        f"({tick.cycles} vs {skip.cycles} cycles)"
+    )
+    return tick
+
+
+class TestPaperConfiguration:
+    """The prototype configuration over the evaluation strides."""
+
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    @pytest.mark.parametrize("stride", PAPER_STRIDES)
+    def test_copy_all_strides(self, system, stride, prototype_params):
+        trace = build_trace(
+            kernel_by_name("copy"),
+            stride=stride,
+            params=prototype_params,
+            elements=256,
+        )
+        assert_modes_agree(trace, prototype_params, system)
+
+    @pytest.mark.parametrize("system", ("pva-sdram", "pva-sram"))
+    @pytest.mark.parametrize(
+        "alignment", ALIGNMENTS, ids=[a.name for a in ALIGNMENTS]
+    )
+    def test_saxpy_stride19_all_alignments(
+        self, system, alignment, prototype_params
+    ):
+        trace = build_trace(
+            kernel_by_name("saxpy"),
+            stride=19,
+            params=prototype_params,
+            elements=128,
+            alignment=alignment,
+        )
+        assert_modes_agree(trace, prototype_params, system)
+
+    @pytest.mark.parametrize("system", ("pva-sdram", "pva-sram"))
+    def test_data_payloads_match(self, system, prototype_params):
+        """capture_data=True: the gathered lines and per-command
+        latencies must be identical, not just the cycle totals."""
+        trace = build_trace(
+            kernel_by_name("swap"),
+            stride=19,
+            params=prototype_params,
+            elements=128,
+        )
+        tick = assert_modes_agree(
+            trace, prototype_params, system, capture_data=True
+        )
+        assert tick.read_lines  # the comparison actually saw payloads
+
+    def test_refresh_enabled(self):
+        """Auto-refresh interacts with every skip bound; a realistic
+        refresh period must not break equivalence."""
+        params = SystemParams(sdram=SDRAMTiming(refresh_interval=777))
+        trace = build_trace(
+            kernel_by_name("copy"), stride=19, params=params, elements=256
+        )
+        assert_modes_agree(trace, params, "pva-sdram", capture_data=True)
+
+    def test_issue_interval_throttled_front_end(self):
+        params = SystemParams(issue_interval=7)
+        trace = build_trace(
+            kernel_by_name("scale"), stride=4, params=params, elements=128
+        )
+        assert_modes_agree(trace, params, "pva-sdram")
+
+
+class TestFuzzedGeometries:
+    """Seeded random machine geometries x kernels x strides, all four
+    systems, payload comparison included."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_geometry(self, seed):
+        rng = random.Random(0xC0FFEE + seed)
+        params = SystemParams(
+            num_banks=rng.choice((4, 8, 16, 32)),
+            cache_line_words=rng.choice((8, 16, 32)),
+            num_vector_contexts=rng.choice((1, 2, 4)),
+            bypass_paths=rng.random() < 0.5,
+            issue_interval=rng.choice((0, 0, 3)),
+            bus_turnaround=rng.choice((0, 1, 2)),
+            sdram=SDRAMTiming(
+                t_rcd=rng.randint(1, 3),
+                cas_latency=rng.randint(1, 3),
+                t_rp=rng.randint(1, 3),
+                t_wr=rng.randint(0, 2),
+                internal_banks=rng.choice((2, 4)),
+                row_words=rng.choice((64, 128, 256)),
+                refresh_interval=rng.choice((0, 777)),
+            ),
+        )
+        kernel = rng.choice(
+            ("copy", "copy2", "saxpy", "scale", "swap", "tridiag", "vaxpy")
+        )
+        stride = rng.choice(PAPER_STRIDES)
+        alignment = rng.choice(ALIGNMENTS)
+        trace = build_trace(
+            kernel_by_name(kernel),
+            stride=stride,
+            params=params,
+            elements=96,
+            alignment=alignment,
+        )
+        for system in ALL_SYSTEMS:
+            assert_modes_agree(trace, params, system, capture_data=True)
+
+
+class TestEnvOverride:
+    """The ``REPRO_TIME_SKIP`` escape hatch wins over the params field."""
+
+    def test_env_forces_tick_loop(self, monkeypatch, prototype_params):
+        from repro.sim.events import time_skip_enabled
+
+        monkeypatch.setenv(ENV_TOGGLE, "0")
+        assert not time_skip_enabled(prototype_params)
+        # ... and the forced mode still produces the reference result.
+        trace = build_trace(
+            kernel_by_name("copy"),
+            stride=8,
+            params=prototype_params,
+            elements=64,
+        )
+        forced = simulate(trace, prototype_params, system="pva-sdram")
+        monkeypatch.delenv(ENV_TOGGLE)
+        reference = simulate(
+            trace,
+            replace(prototype_params, time_skip=False),
+            system="pva-sdram",
+        )
+        assert forced == reference
+
+    def test_env_forces_skip_loop(self, monkeypatch, prototype_params):
+        from repro.sim.events import time_skip_enabled
+
+        monkeypatch.setenv(ENV_TOGGLE, "1")
+        assert time_skip_enabled(replace(prototype_params, time_skip=False))
+
+    def test_auto_defers_to_params(self, monkeypatch, prototype_params):
+        from repro.sim.events import time_skip_enabled
+
+        monkeypatch.setenv(ENV_TOGGLE, "auto")
+        assert time_skip_enabled(prototype_params)
+        assert not time_skip_enabled(
+            replace(prototype_params, time_skip=False)
+        )

@@ -54,6 +54,24 @@ class TestWatchdog:
         with pytest.raises(ConfigurationError):
             SimulationLimits(max_wall_seconds=-1.0)
 
+    def test_wall_clock_probed_on_cycle_jumps(self):
+        """Regression: under the time-skip run loop a single check can
+        stand for thousands of skipped cycles, so the wall clock must be
+        probed on elapsed *simulated* cycles, not only every 1024th
+        check — otherwise a skipping run blows far past its budget."""
+        dog = Watchdog(
+            10**6,
+            limits=SimulationLimits(
+                max_cycles_per_command=10**9, max_wall_seconds=0.01
+            ),
+        )
+        dog.check(0)  # arms the first probe window
+        time.sleep(0.05)  # exhaust the wall budget
+        # Far fewer than 1024 checks, but each jumps past the probe
+        # stride — the deadline must still be noticed immediately.
+        with pytest.raises(SimulationTimeout):
+            dog.check(50_000)
+
 
 class TestLimitsOverride:
     def test_context_manager_scopes_the_override(self):

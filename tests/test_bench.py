@@ -1,0 +1,96 @@
+"""The tick-vs-skip benchmark harness (``python -m repro bench``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import HEADLINE_STRIDE, format_bench, run_bench
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One tiny benchmark run shared by the assertions below."""
+    return run_bench(
+        elements=64, repeats=1, quick=True, systems=("pva-sdram",)
+    )
+
+
+class TestRunBench:
+    def test_report_shape(self, quick_report):
+        report = quick_report
+        assert report["stride"] == HEADLINE_STRIDE
+        assert report["quick"] is True
+        entry = report["systems"]["pva-sdram"]
+        for field in (
+            "simulated_cycles",
+            "tick_seconds",
+            "skip_seconds",
+            "tick_cycles_per_second",
+            "skip_cycles_per_second",
+            "speedup",
+        ):
+            assert field in entry, field
+        assert entry["simulated_cycles"] > 0
+        assert entry["tick_seconds"] > 0
+        assert entry["skip_seconds"] > 0
+        assert report["grid"]["tick_seconds"] > 0
+        assert report["speedup"] > 0
+
+    def test_report_is_json_serializable(self, quick_report):
+        parsed = json.loads(json.dumps(quick_report))
+        assert parsed["systems"]["pva-sdram"]["simulated_cycles"] > 0
+
+    def test_format_renders_every_system(self, quick_report):
+        text = format_bench(quick_report)
+        assert "pva-sdram" in text
+        assert "speedup" in text
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_bench(elements=16, quick=True, systems=("no-such-system",))
+
+
+class TestBenchCLI:
+    def test_quick_bench_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sim.json"
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--elements",
+                "64",
+                "--repeats",
+                "1",
+                "--system",
+                "pva-sdram",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["systems"]["pva-sdram"]["simulated_cycles"] > 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_min_speedup_gate_fails_cleanly(self, tmp_path):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--elements",
+                "64",
+                "--repeats",
+                "1",
+                "--system",
+                "pva-sdram",
+                "--out",
+                "",
+                "--min-speedup",
+                "1000",
+            ]
+        )
+        assert code == 1
