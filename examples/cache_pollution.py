@@ -13,12 +13,12 @@ Run:  python examples/cache_pollution.py
 
 from repro import (
     AccessType,
-    CacheLineSerialSDRAM,
-    PVAMemorySystem,
     SystemParams,
     Vector,
     VectorCommand,
 )
+from repro.baselines import CacheLineSerialSDRAM
+from repro.pva import PVAMemorySystem
 from repro.cache.frontend import CacheFrontEnd
 
 LENGTH = 1024

@@ -11,7 +11,8 @@ Run:  python examples/design_space_exploration.py
 
 from dataclasses import replace
 
-from repro import PVAMemorySystem, SystemParams, build_trace, kernel_by_name
+from repro import SystemParams, build_trace, kernel_by_name
+from repro.pva import PVAMemorySystem
 from repro.core.pla import pla_product_terms
 from repro.experiments.ablations import ablate_bypass_paths
 

@@ -15,11 +15,9 @@ checking the data and comparing cycles against the conventional path.
 Run:  python examples/impulse_shadow_space.py
 """
 
-from repro import (
-    CacheLineSerialSDRAM,
-    PVAMemorySystem,
-    SystemParams,
-)
+from repro import SystemParams
+from repro.baselines import CacheLineSerialSDRAM
+from repro.pva import PVAMemorySystem
 from repro.cache.frontend import CacheFrontEnd
 from repro.extensions import ShadowRegion, ShadowSpace
 

@@ -18,13 +18,12 @@ Run:  python examples/matrix_column_walk.py
 
 from repro import (
     AccessType,
-    CacheLineSerialSDRAM,
-    GatheringSerialSDRAM,
-    PVAMemorySystem,
     SystemParams,
     Vector,
     VectorCommand,
 )
+from repro.baselines import CacheLineSerialSDRAM, GatheringSerialSDRAM
+from repro.pva import PVAMemorySystem
 
 ROWS = 256
 

@@ -11,14 +11,16 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    CacheLineSerialSDRAM,
-    GatheringSerialSDRAM,
-    PVAMemorySystem,
     SystemParams,
     build_trace,
     kernel_by_name,
+)
+from repro.baselines import (
+    CacheLineSerialSDRAM,
+    GatheringSerialSDRAM,
     make_pva_sram,
 )
+from repro.pva import PVAMemorySystem
 
 
 def main() -> None:

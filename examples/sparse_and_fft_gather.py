@@ -14,7 +14,8 @@ Run:  python examples/sparse_and_fft_gather.py
 
 import random
 
-from repro import PVAMemorySystem, SystemParams
+from repro import SystemParams
+from repro.pva import PVAMemorySystem
 from repro.extensions import (
     bit_reversal_gather,
     bit_reverse,

@@ -17,11 +17,11 @@ from repro import (
     AccessType,
     MMCTLB,
     PageMapping,
-    PVAMemorySystem,
     SystemParams,
     Vector,
     VectorCommand,
 )
+from repro.pva import PVAMemorySystem
 from repro.core.split import exact_split_vector, split_vector
 
 PAGE_WORDS = 1 << 12  # a 16 KB super-page of 4-byte words

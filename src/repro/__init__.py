@@ -23,15 +23,12 @@ Quick start::
     result = simulate(trace, params, system="pva-sdram")
     print(result.cycles, result.summary())
 
-Constructing the memory-system classes directly
-(``PVAMemorySystem(params)`` and friends imported from the top level) is
-deprecated in favour of :func:`repro.api.build_system` /
-:func:`repro.api.simulate`; the old names keep working but emit a
-``DeprecationWarning``.
+Memory-system classes are no longer exported from the top level: build
+systems through :func:`repro.api.build_system` / :func:`repro.api.simulate`
+(or import a class from its home module, e.g. ``repro.pva``).  The old
+top-level names were deprecated in favour of the facade and now raise
+:class:`~repro.errors.ReproError` naming the replacement.
 """
-
-import importlib
-import warnings
 
 from repro.api import (
     available_systems,
@@ -60,9 +57,10 @@ from repro.vm import MMCTLB, PageMapping
 
 __version__ = "1.0.0"
 
-#: Old construction paths, kept as deprecation shims: top-level access
-#: resolves lazily (PEP 562) and points callers at the repro.api facade.
-_DEPRECATED_CONSTRUCTORS = {
+#: Construction paths removed after their deprecation period: top-level
+#: access raises a ReproError pointing at the repro.api facade (and the
+#: class's home module for callers that need the type itself).
+_REMOVED_CONSTRUCTORS = {
     "PVAMemorySystem": ("repro.pva", 'build_system("pva-sdram", params)'),
     "CacheLineSerialSDRAM": (
         "repro.baselines",
@@ -77,16 +75,13 @@ _DEPRECATED_CONSTRUCTORS = {
 
 
 def __getattr__(name):
-    if name in _DEPRECATED_CONSTRUCTORS:
-        module_name, replacement = _DEPRECATED_CONSTRUCTORS[name]
-        warnings.warn(
-            f"importing {name} from the top-level repro package is "
-            f"deprecated; use repro.api: {replacement} (or import the "
-            f"class from {module_name} directly)",
-            DeprecationWarning,
-            stacklevel=2,
+    if name in _REMOVED_CONSTRUCTORS:
+        module_name, replacement = _REMOVED_CONSTRUCTORS[name]
+        raise ReproError(
+            f"{name} is no longer exported from the top-level repro "
+            f"package; use repro.api: {replacement} (or import the "
+            f"class from {module_name} directly)"
         )
-        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -106,10 +101,6 @@ __all__ = [
     "BatchResult",
     "PointFailure",
     "RetryPolicy",
-    "PVAMemorySystem",
-    "CacheLineSerialSDRAM",
-    "GatheringSerialSDRAM",
-    "make_pva_sram",
     "RunResult",
     "first_hit",
     "next_hit",

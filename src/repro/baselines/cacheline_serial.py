@@ -23,8 +23,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Set
 
+from repro.baselines.serial_core import SerialCommandEngine
 from repro.params import SystemParams
 from repro.sdram.device import DeviceStats
+from repro.sim.events import time_skip_enabled
+from repro.sim.kernel import SimKernel
 from repro.sim.runner import Watchdog
 from repro.sim.stats import BusStats, RunResult
 from repro.types import AccessType, VectorCommand
@@ -82,65 +85,76 @@ class CacheLineSerialSDRAM:
             seen.add(address >> shift)
         return len(seen)
 
-    def next_event_cycle(self, cycle: int) -> int:
-        """Time-skip interface: the analytic model jumps from command to
-        command with no idle cycles, so the next event is always "now"."""
-        return cycle
+    def reset(self) -> None:
+        """Discard the functional memory image.  Idempotent."""
+        self._storage = {}
+
+    def process_command(self, command: VectorCommand, start_cycle: int) -> int:
+        """One command's line fills: accumulate stats and functional
+        effects, return the cycles it occupies the system (the
+        :class:`~repro.baselines.serial_core.SerialCommandEngine`
+        cost-model hook)."""
+        lines = self.lines_touched(command)
+        self._total_lines += lines
+        self._bus.data_cycles += lines * self.burst_cycles
+        self._bus.request_cycles += lines * (
+            self.fill_cycles - self.burst_cycles
+        )
+        if command.access is AccessType.READ:
+            self._reads += 1
+            self._elements_read += command.vector.length
+            if self._read_lines is not None:
+                self._read_lines.append(
+                    tuple(
+                        self._storage.get(a, 0)
+                        for a in command.vector.addresses()
+                    )
+                )
+        else:
+            self._writes += 1
+            self._elements_written += command.vector.length
+            data = command.data or tuple(range(command.vector.length))
+            for address, value in zip(command.vector.addresses(), data):
+                self._storage[address] = value
+        return lines * self.fill_cycles
 
     def run(
         self,
         commands: Sequence[VectorCommand],
         capture_data: bool = False,
     ) -> RunResult:
-        """Cost the trace: ``fill_cycles`` per distinct line, serially."""
-        cycles = 0
-        total_lines = 0
-        reads = writes = 0
-        elements_read = elements_written = 0
-        bus = BusStats()
-        read_lines = [] if capture_data else None
+        """Cost the trace (``fill_cycles`` per distinct line, serially)
+        through the shared simulation kernel."""
+        self._total_lines = 0
+        self._reads = self._writes = 0
+        self._elements_read = self._elements_written = 0
+        self._bus = BusStats()
+        self._read_lines = [] if capture_data else None
         watchdog = Watchdog(len(commands), system=self.name)
-        for command in commands:
-            watchdog.check(cycles)
-            lines = self.lines_touched(command)
-            total_lines += lines
-            cycles += lines * self.fill_cycles
-            bus.data_cycles += lines * self.burst_cycles
-            bus.request_cycles += lines * (
-                self.fill_cycles - self.burst_cycles
-            )
-            if command.access is AccessType.READ:
-                reads += 1
-                elements_read += command.vector.length
-                if read_lines is not None:
-                    read_lines.append(
-                        tuple(
-                            self._storage.get(a, 0)
-                            for a in command.vector.addresses()
-                        )
-                    )
-            else:
-                writes += 1
-                elements_written += command.vector.length
-                data = command.data or tuple(range(command.vector.length))
-                for address, value in zip(command.vector.addresses(), data):
-                    self._storage[address] = value
+        engine = SerialCommandEngine(self, commands)
+        kernel = SimKernel(
+            watchdog=watchdog, time_skip=time_skip_enabled(self.params)
+        )
+        kernel.register(engine)
+        exit_cycle = kernel.run(engine.done)
+        cycles = max(engine.busy_until, exit_cycle)
         device = DeviceStats(
-            activates=total_lines,
-            precharges=total_lines,
-            reads=total_lines * self.params.cache_line_words,
+            activates=self._total_lines,
+            precharges=self._total_lines,
+            reads=self._total_lines * self.params.cache_line_words,
             writes=0,
         )
         result = RunResult(
             system=self.name,
             cycles=cycles,
             commands=len(commands),
-            read_commands=reads,
-            write_commands=writes,
-            elements_read=elements_read,
-            elements_written=elements_written,
+            read_commands=self._reads,
+            write_commands=self._writes,
+            elements_read=self._elements_read,
+            elements_written=self._elements_written,
             device=device,
-            bus=bus,
+            bus=self._bus,
+            attribution=kernel.finalize(cycles),
         )
-        result.read_lines = read_lines
+        result.read_lines = self._read_lines
         return result

@@ -6,6 +6,13 @@ uses the gap between PVA-SDRAM and PVA-SRAM (at most ~15 %) as the measure
 of how well the scheduling heuristics hide DRAM overheads; the experiment
 harness reports the min and max over relative alignments, matching the
 "min/max parallel vector access SRAM" bars.
+
+Because the factory returns a real :class:`~repro.pva.system.PVAMemorySystem`
+(just with an SRAM device in every bank controller), the variant runs on
+the shared simulation kernel like every other system: ``python -m repro
+bench`` reports it with the same tick-vs-skip timings and per-component
+cycle-attribution breakdown, and it honours ``reset()``/``capture_data``
+under the common :class:`~repro.sim.runner.MemorySystem` contract.
 """
 
 from __future__ import annotations

@@ -1,0 +1,77 @@
+"""Kernel adapter for the analytic serial baselines.
+
+The two serial systems (cache-line fills, gathering pipeline) are
+analytic models: each vector command occupies the system for a
+closed-form number of cycles, back to back, with no idle gaps and no
+split transactions.  Historically each had its own ``for command``
+costing loop with private watchdog wiring; under the shared simulation
+kernel both register a single :class:`SerialCommandEngine` component
+and delete the loop.
+
+The engine processes every command whose start time has arrived —
+``while`` rather than ``if``, so a zero-cost command can never wedge
+the clock — and advances its ``busy_until`` frontier by the cost the
+owning system reports.  Its time-skip bound is simply that frontier,
+which lets the skip loop jump command to command exactly as the old
+analytic loops did, while the reference tick loop now really visits
+every cycle (and the differential suite checks the two agree).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, Tuple
+
+from repro.sim.events import HORIZON
+from repro.types import VectorCommand
+
+__all__ = ["SerialCommandEngine", "SerialCostModel"]
+
+
+class SerialCostModel(Protocol):
+    """What the engine needs from an analytic serial system."""
+
+    def process_command(self, command: VectorCommand, start_cycle: int) -> int:
+        """Account one command (stats, functional storage) and return
+        the number of cycles it occupies the system."""
+        ...
+
+
+class SerialCommandEngine:
+    """The single clocked component of an analytic serial system."""
+
+    name = "serial-engine"
+
+    def __init__(self, model: SerialCostModel, commands: Sequence[VectorCommand]):
+        self.model = model
+        self.commands = commands
+        self.next_index = 0
+        #: First cycle at which the system is free again — the cost
+        #: frontier; equals the run's total cycle count once drained.
+        self.busy_until = 0
+
+    def done(self) -> bool:
+        return self.next_index >= len(self.commands)
+
+    def tick(self, cycle: int) -> bool:
+        acted = False
+        commands = self.commands
+        while self.next_index < len(commands) and self.busy_until <= cycle:
+            command = commands[self.next_index]
+            self.busy_until += self.model.process_command(
+                command, self.busy_until
+            )
+            self.next_index += 1
+            acted = True
+        return acted
+
+    def next_event_cycle(self, cycle: int) -> int:
+        if self.next_index >= len(self.commands):
+            return HORIZON
+        return self.busy_until if self.busy_until > cycle else cycle
+
+    def account(self, start: int, end: int) -> Tuple[int, int, int]:
+        # The analytic model is busy straight through its cost frontier
+        # and idle after — it never stalls.
+        busy_end = min(end, self.busy_until)
+        busy = busy_end - start if busy_end > start else 0
+        return (busy, 0, (end - start) - busy)

@@ -61,15 +61,30 @@ def _time_mode(
     traces: List,
     repeats: int,
 ) -> Dict[str, float]:
-    """Run the workload under ``params``; return cycles + best wall time."""
+    """Run the workload under ``params``; return cycles, best wall time,
+    and the summed per-component attribution ledger."""
     cycles = None
     best = None
-    for _ in range(max(1, repeats)):
+    attribution: Dict[str, Dict[str, int]] = {}
+    for repeat in range(max(1, repeats)):
         total = 0
         started = time.perf_counter()
-        for trace in traces:
-            total += build_system(system, params).run(trace).cycles
+        results = [build_system(system, params).run(trace) for trace in traces]
         elapsed = time.perf_counter() - started
+        for result in results:
+            total += result.cycles
+            if not result.attribution_consistent():
+                raise ConfigurationError(
+                    f"{system}: per-component attribution does not sum to "
+                    f"the run's cycle count — the kernel ledger is broken"
+                )
+            if repeat == 0 and result.attribution:
+                for name, buckets in result.attribution.items():
+                    entry = attribution.setdefault(
+                        name, {"busy": 0, "stalled": 0, "idle": 0}
+                    )
+                    for bucket in entry:
+                        entry[bucket] += getattr(buckets, bucket)
         if cycles is None:
             cycles = total
         elif total != cycles:
@@ -79,7 +94,7 @@ def _time_mode(
             )
         if best is None or elapsed < best:
             best = elapsed
-    return {"cycles": cycles, "seconds": best}
+    return {"cycles": cycles, "seconds": best, "attribution": attribution}
 
 
 def run_bench(
@@ -94,10 +109,12 @@ def run_bench(
     """Benchmark tick vs skip on the stride-``stride`` grid slice.
 
     Returns the ``BENCH_sim.json`` document: per-system wall seconds,
-    simulated cycles and cycles/second for both run loops, plus the
-    aggregate slice ("grid") totals and the headline ``speedup``.
+    simulated cycles and cycles/second for both run loops, the summed
+    per-component busy/stalled/idle attribution of the workload, plus
+    the aggregate slice ("grid") totals and the headline ``speedup``.
     Raises :class:`~repro.errors.ConfigurationError` if the two modes
-    disagree on any system's total cycle count.
+    disagree on any system's total cycle count or attribution ledger,
+    or if any run's ledger fails to sum to its cycle count.
     """
     base = params or SystemParams()
     tick_params = replace(base, time_skip=False)
@@ -152,6 +169,12 @@ def run_bench(
                     f"({tick['cycles']} vs {skip['cycles']}) — the "
                     "time-skip engine is broken; refusing to benchmark it"
                 )
+            if tick["attribution"] != skip["attribution"]:
+                raise ConfigurationError(
+                    f"{name}: tick and skip disagree on the per-component "
+                    "attribution ledger — cycle attribution must be "
+                    "independent of the run-loop mode"
+                )
             tick_total += tick["seconds"]
             skip_total += skip["seconds"]
             report["systems"][name] = {
@@ -171,6 +194,12 @@ def run_bench(
                 "speedup": round(tick["seconds"] / skip["seconds"], 3)
                 if skip["seconds"] > 0
                 else 0.0,
+                "attribution": {
+                    component: dict(buckets)
+                    for component, buckets in sorted(
+                        tick["attribution"].items()
+                    )
+                },
             }
         report["grid"] = {
             "tick_seconds": round(tick_total, 4),
@@ -213,6 +242,11 @@ def run_bench(
                     f"{name} (issue_interval={sparse_interval}): tick and "
                     f"skip disagree on total cycles ({tick['cycles']} vs "
                     f"{skip['cycles']})"
+                )
+            if tick["attribution"] != skip["attribution"]:
+                raise ConfigurationError(
+                    f"{name} (issue_interval={sparse_interval}): tick and "
+                    "skip disagree on the per-component attribution ledger"
                 )
             sparse_tick += tick["seconds"]
             sparse_skip += skip["seconds"]

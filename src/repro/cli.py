@@ -111,6 +111,29 @@ class _MetricsLine(EngineHooks):
             f"{throughput}{resilience}",
             file=sys.stderr,
         )
+        if metrics.component_cycles:
+            # Collapse the per-bank components into one aggregate line
+            # item; the full per-bank ledger stays in summary() and the
+            # bench report.
+            collapsed: dict = {}
+            for name, buckets in metrics.component_cycles.items():
+                label = "banks" if name.startswith("bank-") else name
+                entry = collapsed.setdefault(
+                    label, {"busy": 0, "stalled": 0, "idle": 0}
+                )
+                for bucket in entry:
+                    entry[bucket] += buckets[bucket]
+            parts = []
+            for name, buckets in sorted(collapsed.items()):
+                total = (
+                    buckets["busy"] + buckets["stalled"] + buckets["idle"]
+                )
+                busy = buckets["busy"] / total if total else 0.0
+                parts.append(f"{name} {busy:.0%} busy")
+            print(
+                "[engine] attribution: " + ", ".join(parts),
+                file=sys.stderr,
+            )
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:

@@ -1,9 +1,12 @@
 """Content-addressed on-disk result cache.
 
 Layout: ``<root>/<key[:2]>/<key>.json``, one JSON document per executed
-point holding the measured cycle count (plus a human-readable point
-description for debugging).  The two-character fan-out keeps directories
-small on full-evaluation caches (hundreds of entries).
+point holding the measured cycle count, the worker's wall clock, the
+per-component cycle-attribution ledger, and a human-readable point
+description for debugging.  Older entries without the newer fields stay
+readable — consumers treat the extras as optional.  The two-character
+fan-out keeps directories small on full-evaluation caches (hundreds of
+entries).
 
 Writes are atomic (temp file + ``os.replace``), so a cache directory
 shared by concurrent runs never serves a torn entry; corrupt or

@@ -81,17 +81,25 @@ def execute_point(point: ExperimentPoint) -> int:
     return execute_point_timed(point)[0]
 
 
-def execute_point_timed(point: ExperimentPoint) -> Tuple[int, float]:
-    """Simulate one point; return ``(cycles, host_seconds)``.
+def execute_point_timed(
+    point: ExperimentPoint,
+) -> Tuple[int, float, Optional[Dict[str, Dict[str, int]]]]:
+    """Simulate one point; return ``(cycles, host_seconds, attribution)``.
 
     The wall clock covers trace construction plus the simulation proper —
     what a worker actually spends on the point — so the engine can report
-    simulated-cycles-per-second throughput."""
+    simulated-cycles-per-second throughput.  ``attribution`` is the
+    kernel's per-component busy/stalled/idle ledger as plain dicts
+    (JSON- and pickle-safe), or None for a system that predates it."""
     started = time.perf_counter()
     trace = build_point_trace(point)
     system = build_system(point.system, point.params)
-    cycles = system.run(trace).cycles
-    return cycles, time.perf_counter() - started
+    result = system.run(trace)
+    return (
+        result.cycles,
+        time.perf_counter() - started,
+        result.attribution_summary(),
+    )
 
 
 def _pool_context():
@@ -135,13 +143,15 @@ class _Task:
 
 #: One streamed execution outcome: exactly one of ``cycles`` / ``failure``
 #: is set; ``sim_seconds`` is the executing worker's wall clock for the
-#: point (None on failure); ``error`` carries the original exception
-#: object when there is one to re-raise in ``on_error="raise"`` mode.
+#: point and ``attribution`` its per-component cycle ledger (both None on
+#: failure); ``error`` carries the original exception object when there
+#: is one to re-raise in ``on_error="raise"`` mode.
 _Outcome = Tuple[
     str,
     ExperimentPoint,
     Optional[int],
     Optional[float],
+    Optional[Dict[str, Dict[str, int]]],
     Optional[PointFailure],
     Optional[BaseException],
 ]
@@ -256,6 +266,7 @@ class ExperimentEngine:
                 metrics.cache_hits += 1
                 metrics.points_done += 1
                 stored_seconds = cached.get("sim_seconds")
+                stored_attribution = cached.get("attribution")
                 self.hooks.point_done(
                     PointOutcome(
                         index,
@@ -264,6 +275,9 @@ class ExperimentEngine:
                         cached=True,
                         sim_seconds=stored_seconds
                         if isinstance(stored_seconds, (int, float))
+                        else None,
+                        attribution=stored_attribution
+                        if isinstance(stored_attribution, dict)
                         else None,
                     ),
                     metrics,
@@ -275,9 +289,15 @@ class ExperimentEngine:
         # Execute the unique misses, streaming outcomes as they land
         # (results are index-keyed, so completion order is irrelevant).
         try:
-            for key, point, cycles, seconds, failure, error in self._execute(
-                pending
-            ):
+            for (
+                key,
+                point,
+                cycles,
+                seconds,
+                attribution,
+                failure,
+                error,
+            ) in self._execute(pending):
                 if failure is None:
                     if self.cache is not None:
                         self.cache.put(
@@ -285,6 +305,7 @@ class ExperimentEngine:
                             {
                                 "cycles": cycles,
                                 "sim_seconds": seconds,
+                                "attribution": attribution,
                                 "point": point.describe(),
                             },
                         )
@@ -293,6 +314,7 @@ class ExperimentEngine:
                     metrics.simulated_cycles += cycles
                     if seconds is not None:
                         metrics.sim_seconds += seconds
+                    metrics.record_attribution(attribution)
                     for position, index in enumerate(indices):
                         results[index] = cycles
                         metrics.points_done += 1
@@ -304,6 +326,7 @@ class ExperimentEngine:
                                 cached=False,
                                 coalesced=position > 0,
                                 sim_seconds=seconds,
+                                attribution=attribution,
                             ),
                             metrics,
                         )
@@ -363,8 +386,8 @@ class ExperimentEngine:
         while True:
             attempts += 1
             try:
-                cycles, seconds = execute_point_timed(point)
-                return key, point, cycles, seconds, None, None
+                cycles, seconds, attribution = execute_point_timed(point)
+                return key, point, cycles, seconds, attribution, None, None
             except Exception as error:
                 if self.retry.should_retry(attempts):
                     self.metrics.retries += 1
@@ -373,7 +396,7 @@ class ExperimentEngine:
                         time.sleep(delay)
                     continue
                 failure = self._failure_from(point, error, attempts)
-                return key, point, None, None, failure, error
+                return key, point, None, None, None, failure, error
 
     # ------------------------------------------------------------- #
     # Pool execution
@@ -424,7 +447,9 @@ class ExperimentEngine:
                         progressed = True
                         del live[task_id]
                         try:
-                            cycles, seconds = task.async_result.get()
+                            cycles, seconds, attribution = (
+                                task.async_result.get()
+                            )
                         except Exception as error:
                             if self.retry.should_retry(task.attempts):
                                 self.metrics.retries += 1
@@ -439,13 +464,22 @@ class ExperimentEngine:
                                 task.point,
                                 None,
                                 None,
+                                None,
                                 self._failure_from(
                                     task.point, error, task.attempts
                                 ),
                                 error,
                             )
                             continue
-                        yield task.key, task.point, cycles, seconds, None, None
+                        yield (
+                            task.key,
+                            task.point,
+                            cycles,
+                            seconds,
+                            attribution,
+                            None,
+                            None,
+                        )
                     elif task.deadline is not None and now > task.deadline:
                         # Hung simulation or killed worker: its result
                         # will never arrive (a late one is discarded).
@@ -468,6 +502,7 @@ class ExperimentEngine:
                             task.point,
                             None,
                             None,
+                            None,
                             self._timeout_failure(task),
                             None,
                         )
@@ -483,10 +518,18 @@ class ExperimentEngine:
                 if ready is None or not ready.ready():
                     continue
                 try:
-                    cycles, seconds = ready.get(0)
+                    cycles, seconds, attribution = ready.get(0)
                 except Exception:
                     continue
-                yield task.key, task.point, cycles, seconds, None, None
+                yield (
+                    task.key,
+                    task.point,
+                    cycles,
+                    seconds,
+                    attribution,
+                    None,
+                    None,
+                )
             raise
         finally:
             pool.terminate()

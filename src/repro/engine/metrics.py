@@ -10,7 +10,7 @@ running :class:`EngineMetrics` snapshot (points/sec, cache hit rate).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.resilience import PointFailure
@@ -32,6 +32,10 @@ class PointOutcome:
     #: point (shared by coalesced twins; stored value for cache hits;
     #: None for entries written before the field existed).
     sim_seconds: Optional[float] = None
+    #: Per-component cycle attribution of the run (component name ->
+    #: {"busy", "stalled", "idle"}), as recorded by the simulation
+    #: kernel; None for cache entries written before the field existed.
+    attribution: Optional[Dict[str, Dict[str, int]]] = None
 
 
 @dataclass
@@ -51,6 +55,22 @@ class EngineMetrics:
     degraded: int = 0  #: points run inline after the pool was abandoned
     simulated_cycles: int = 0  #: simulated cycles across unique executions
     sim_seconds: float = 0.0  #: worker wall clock across unique executions
+    #: Aggregated per-component cycle attribution across unique
+    #: executions (component name -> busy/stalled/idle cycle totals).
+    component_cycles: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def record_attribution(
+        self, attribution: Optional[Dict[str, Dict[str, int]]]
+    ) -> None:
+        """Fold one execution's attribution ledger into the totals."""
+        if not attribution:
+            return
+        for name, buckets in attribution.items():
+            entry = self.component_cycles.setdefault(
+                name, {"busy": 0, "stalled": 0, "idle": 0}
+            )
+            for bucket in ("busy", "stalled", "idle"):
+                entry[bucket] += int(buckets.get(bucket, 0))
 
     @property
     def cache_hit_rate(self) -> float:
@@ -91,6 +111,10 @@ class EngineMetrics:
             "simulated_cycles": self.simulated_cycles,
             "sim_seconds": round(self.sim_seconds, 3),
             "sim_cycles_per_second": round(self.sim_cycles_per_second, 1),
+            "component_cycles": {
+                name: dict(buckets)
+                for name, buckets in sorted(self.component_cycles.items())
+            },
         }
 
 

@@ -19,7 +19,6 @@ the grid's first alignment and letting the engine coalesce duplicates.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -39,7 +38,6 @@ __all__ = [
     "EVAL_KERNELS",
     "FIGURE7_KERNELS",
     "FIGURE8_KERNELS",
-    "SYSTEMS",  # deprecated alias of the repro.api registry
     "GridResults",
     "run_point",
     "run_grid",
@@ -67,17 +65,13 @@ FIGURE8_KERNELS: Tuple[str, ...] = ("scale2", "swap", "tridiag", "vaxpy")
 
 def __getattr__(name: str):
     if name == "SYSTEMS":
-        warnings.warn(
-            "repro.experiments.grid.SYSTEMS is deprecated; use the "
+        from repro.errors import ReproError
+
+        raise ReproError(
+            "repro.experiments.grid.SYSTEMS has been removed; use the "
             "repro.api registry (available_systems / build_system / "
-            "register_system) instead",
-            DeprecationWarning,
-            stacklevel=2,
+            "register_system) instead"
         )
-        return {
-            system: system_entry(system).factory
-            for system in available_systems()
-        }
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -33,6 +33,7 @@ from repro.bus.vector_bus import VectorBus
 from repro.pva.bank_controller import BankController
 from repro.sdram.device import DeviceStats, SDRAMDevice
 from repro.sim.events import HORIZON, time_skip_enabled
+from repro.sim.kernel import PassiveComponent, SimKernel
 from repro.sim.runner import Watchdog
 from repro.sim.stats import BusStats, RunResult
 from repro.types import AccessType, ExplicitCommand, VectorCommand
@@ -61,6 +62,294 @@ class _Transaction:
     done: int = 0
     last_data_cycle: int = -1
     staged: bool = False  # reads: queued for / undergoing STAGE_READ
+
+
+class _FrontEnd:
+    """The PVA front end as a kernel component: transaction-id releases
+    plus the one-bus-action-per-cycle arbitration between staging
+    transfers and new command broadcasts.  Owns the shared per-run
+    bookkeeping the bank and completion components report into."""
+
+    name = "front-end"
+
+    def __init__(
+        self,
+        system: "PVAMemorySystem",
+        commands: Sequence[AnyCommand],
+        bus: VectorBus,
+        capture_data: bool,
+    ):
+        self.system = system
+        self.commands = commands
+        self.bus = bus
+        self.free_ids: Deque[int] = deque(
+            range(system.params.max_transactions)
+        )
+        self.outstanding: Dict[int, _Transaction] = {}
+        self.stage_queue: Deque[_Transaction] = deque()
+        self.releases: List[Tuple[int, int]] = []  # (cycle, txn_id)
+        self.read_lines: Optional[List[Optional[Tuple[int, ...]]]] = None
+        read_order: List[int] = []
+        if capture_data:
+            read_order = [
+                i for i, c in enumerate(commands) if c.access is AccessType.READ
+            ]
+            self.read_lines = [None] * len(read_order)
+        self.read_slot_of_trace = {t: i for i, t in enumerate(read_order)}
+        self.latencies: List[int] = [0] * len(commands)
+        self.next_cmd = 0
+        self.end_cycle = 0
+        self.next_issue_allowed = 0
+        self.issue_interval = system.params.issue_interval
+
+    def done(self) -> bool:
+        """Loop-exit predicate: trace drained, no outstanding work."""
+        return self.next_cmd >= len(self.commands) and not self.outstanding
+
+    def tick(self, cycle: int) -> bool:
+        acted = False
+        # -- release transaction ids whose staging transfer finished --
+        if self.releases:
+            still: List[Tuple[int, int]] = []
+            for when, txn_id in self.releases:
+                if when <= cycle:
+                    self.free_ids.append(txn_id)
+                    acted = True
+                else:
+                    still.append((when, txn_id))
+            self.releases = still
+
+        # -- one bus action per cycle ---------------------------------
+        # New commands take the bus while transaction ids remain (the
+        # infinitely-fast-CPU front end keeps the banks fed); staged
+        # read returns drain otherwise.  Staging strictly first would
+        # starve broadcasts whenever completions return quickly.
+        if self.bus.is_free(cycle):
+            commands = self.commands
+            issue_first = (
+                self.next_cmd < len(commands)
+                and self.free_ids
+                and cycle >= self.next_issue_allowed
+            )
+            if self.stage_queue and not issue_first:
+                acted = True
+                txn = self.stage_queue.popleft()
+                line = self.system._assemble_line(
+                    txn.txn_id, commands[txn.trace_index]
+                )
+                if self.read_lines is not None:
+                    self.read_lines[
+                        self.read_slot_of_trace[txn.trace_index]
+                    ] = line
+                transfer_end = self.bus.stage_read(cycle)
+                self.releases.append((transfer_end, txn.txn_id))
+                self.latencies[txn.trace_index] = (
+                    transfer_end - txn.issue_cycle
+                )
+                del self.outstanding[txn.txn_id]
+                self.end_cycle = max(self.end_cycle, transfer_end)
+            elif issue_first:
+                acted = True
+                command = commands[self.next_cmd]
+                txn_id = self.free_ids.popleft()
+                request_cycles = (
+                    command.broadcast_cycles
+                    if isinstance(command, ExplicitCommand)
+                    else 1
+                )
+                if command.access is AccessType.READ:
+                    # A multi-cycle broadcast (explicit address
+                    # stream) only finishes delivering addresses on
+                    # its last bus cycle; the banks cannot act on the
+                    # command before then.
+                    self.system._broadcast(
+                        txn_id, command, cycle + request_cycles - 1, None
+                    )
+                    self.bus.broadcast_request(cycle, request_cycles)
+                    self.outstanding[txn_id] = _Transaction(
+                        txn_id=txn_id,
+                        trace_index=self.next_cmd,
+                        is_write=False,
+                        issue_cycle=cycle,
+                        expected=_command_length(command),
+                    )
+                else:
+                    # STAGE_WRITE command + data cycles, then the
+                    # VEC_WRITE (or explicit-address) broadcast.
+                    line = self.system._write_line(command)
+                    vec_write_cycle = self.bus.stage_write(
+                        cycle, request_cycles
+                    )
+                    # As for reads: the banks see the command once the
+                    # last broadcast cycle has delivered the final
+                    # addresses, so a write cannot commit while its
+                    # address stream is still on the bus.
+                    self.system._broadcast(
+                        txn_id,
+                        command,
+                        vec_write_cycle + request_cycles - 1,
+                        line,
+                    )
+                    self.outstanding[txn_id] = _Transaction(
+                        txn_id=txn_id,
+                        trace_index=self.next_cmd,
+                        is_write=True,
+                        issue_cycle=cycle,
+                        expected=_command_length(command),
+                    )
+                self.next_cmd += 1
+                self.next_issue_allowed = cycle + self.issue_interval
+        return acted
+
+    def note_issue(self, bank: int, issued) -> None:
+        """A bank issued a column for one of our transactions."""
+        txn = self.outstanding.get(issued.txn_id)
+        if txn is None:
+            raise ProtocolError(
+                f"bank {bank} issued for unknown "
+                f"transaction {issued.txn_id}"
+            )
+        txn.done += 1
+        if issued.data_cycle > txn.last_data_cycle:
+            txn.last_data_cycle = issued.data_cycle
+
+    def next_event_cycle(self, cycle: int) -> int:
+        target = HORIZON
+        for when, _txn_id in self.releases:
+            if when < target:
+                target = when
+        if self.stage_queue and self.bus.busy_until < target:
+            # A staged read waits only for the bus.
+            target = self.bus.busy_until
+        if self.next_cmd < len(self.commands) and self.free_ids:
+            # The next broadcast waits for the bus and the issue
+            # throttle; with no free transaction id it instead
+            # unblocks via a completion/release event.
+            gate = self.bus.busy_until
+            if self.next_issue_allowed > gate:
+                gate = self.next_issue_allowed
+            if gate < target:
+                target = gate
+        return target
+
+    def account(self, start: int, end: int) -> Tuple[int, int, int]:
+        span = end - start
+        if (
+            self.next_cmd < len(self.commands)
+            or self.outstanding
+            or self.releases
+            or self.stage_queue
+        ):
+            return (0, span, 0)
+        return (0, 0, span)
+
+
+class _BusComponent(PassiveComponent):
+    """The vector bus is a pure occupancy state machine — every transfer
+    is scheduled by the front end, so its tick never acts; it exists as
+    a component for the attribution ledger (busy = carrying a request,
+    data, or turnaround; never stalled)."""
+
+    name = "vector-bus"
+
+    def __init__(self, bus: VectorBus):
+        self.bus = bus
+
+    def account(self, start: int, end: int) -> Tuple[int, int, int]:
+        busy_end = min(end, self.bus.busy_until)
+        busy = busy_end - start if busy_end > start else 0
+        return (busy, 0, (end - start) - busy)
+
+
+class _BankComponent:
+    """One bank controller under the kernel.  Acting means observable
+    progress: a column issue, a request injected into a vector context,
+    a row activate/precharge, or an auto-refresh."""
+
+    def __init__(self, bank: BankController, front: _FrontEnd, time_skip: bool):
+        self.bank = bank
+        self.front = front
+        self.time_skip = time_skip
+        self.name = f"bank-{bank.bank}"
+
+    def tick(self, cycle: int) -> bool:
+        bank = self.bank
+        if self.time_skip and bank.quiet_at(cycle):
+            return False
+        sched = bank.scheduler
+        rqf_len = len(bank.rqf)
+        row_ops = sched.activates + sched.precharges
+        refreshes = getattr(bank.device, "refreshes", 0)
+        issued = bank.tick(cycle)
+        if issued is not None:
+            self.front.note_issue(bank.bank, issued)
+            return True
+        return (
+            len(bank.rqf) != rqf_len
+            or sched.activates + sched.precharges != row_ops
+            or getattr(bank.device, "refreshes", 0) != refreshes
+        )
+
+    def next_event_cycle(self, cycle: int) -> int:
+        return self.bank.next_event_cycle(cycle)
+
+    def account(self, start: int, end: int) -> Tuple[int, int, int]:
+        span = end - start
+        if self.bank.rqf or self.bank.scheduler.window:
+            return (0, span, 0)
+        return (0, 0, span)
+
+
+class _CompletionUnit:
+    """The front end's view of the wired-AND transaction-complete lines:
+    retires transactions whose banks have all reported and whose last
+    data cycle has passed.  Ticks after the banks so a completion lands
+    in the same cycle as the final column issue, exactly as the
+    monolithic loop ordered it."""
+
+    name = "completion"
+
+    def __init__(self, front: _FrontEnd):
+        self.front = front
+
+    def tick(self, cycle: int) -> bool:
+        front = self.front
+        acted = False
+        for txn in list(front.outstanding.values()):
+            if txn.done < txn.expected or cycle < txn.last_data_cycle:
+                continue
+            if txn.is_write:
+                acted = True
+                for bank in front.system.banks:
+                    bank.release_write(txn.txn_id)
+                front.free_ids.append(txn.txn_id)
+                front.latencies[txn.trace_index] = (
+                    cycle + 1 - txn.issue_cycle
+                )
+                del front.outstanding[txn.txn_id]
+                front.end_cycle = max(front.end_cycle, cycle + 1)
+            elif not txn.staged:
+                acted = True
+                txn.staged = True
+                front.stage_queue.append(txn)
+        return acted
+
+    def next_event_cycle(self, cycle: int) -> int:
+        target = HORIZON
+        for txn in self.front.outstanding.values():
+            # A fully-issued transaction completes once its last data
+            # cycle passes.  Already-staged reads are the bus's problem,
+            # bounded by the front end.
+            if txn.done >= txn.expected and not txn.staged:
+                if txn.last_data_cycle < target:
+                    target = txn.last_data_cycle
+        return target
+
+    def account(self, start: int, end: int) -> Tuple[int, int, int]:
+        span = end - start
+        if self.front.outstanding:
+            return (0, span, 0)
+        return (0, 0, span)
 
 
 class PVAMemorySystem:
@@ -111,9 +400,22 @@ class PVAMemorySystem:
             if self.interleave is not None
             else None
         )
-        pla = shared_k1_pla(self.params.num_banks)
+        self._device_factory = device_factory
+        self._pla = shared_k1_pla(self.params.num_banks)
         self.banks: List[BankController] = [
-            BankController(bank, self.params, device_factory(self.params), pla)
+            BankController(
+                bank, self.params, device_factory(self.params), self._pla
+            )
+            for bank in range(self.params.num_banks)
+        ]
+
+    def reset(self) -> None:
+        """Discard all device contents and statistics, returning the
+        system to its just-constructed state.  Idempotent."""
+        self.banks = [
+            BankController(
+                bank, self.params, self._device_factory(self.params), self._pla
+            )
             for bank in range(self.params.num_banks)
         ]
 
@@ -165,7 +467,15 @@ class PVAMemorySystem:
         commands: Sequence[VectorCommand],
         capture_data: bool = False,
     ) -> RunResult:
-        """Execute a command trace; return cycle counts and statistics."""
+        """Execute a command trace; return cycle counts and statistics.
+
+        The run is driven by the shared simulation kernel
+        (:class:`repro.sim.kernel.SimKernel`): the front end, the vector
+        bus, every bank controller and the completion unit register as
+        clocked components, and the kernel owns watchdog probing, the
+        time-skip advance, and the per-component cycle-attribution
+        ledger surfaced as :attr:`RunResult.attribution`.
+        """
         for command in commands:
             if _command_length(command) > self.params.max_vector_length:
                 raise VectorSpecError(
@@ -174,25 +484,6 @@ class PVAMemorySystem:
                     f"{self.params.max_vector_length}; split it first"
                 )
         bus = VectorBus(self.params)
-        free_ids: Deque[int] = deque(range(self.params.max_transactions))
-        outstanding: Dict[int, _Transaction] = {}
-        stage_queue: Deque[_Transaction] = deque()
-        releases: List[Tuple[int, int]] = []  # (cycle, txn_id)
-        read_lines: Optional[List[Optional[Tuple[int, ...]]]] = None
-        read_order: List[int] = []
-        if capture_data:
-            read_order = [
-                i for i, c in enumerate(commands) if c.access is AccessType.READ
-            ]
-            read_lines = [None] * len(read_order)
-        read_slot_of_trace = {t: i for i, t in enumerate(read_order)}
-        latencies: List[int] = [0] * len(commands)
-
-        next_cmd = 0
-        cycle = 0
-        end_cycle = 0
-        next_issue_allowed = 0
-        issue_interval = self.params.issue_interval
         watchdog = Watchdog(len(commands), system=self.name)
         #: Fast path: jump idle gaps via next-event lower bounds instead
         #: of ticking through them.  Cycle-exact with the reference loop
@@ -202,184 +493,22 @@ class PVAMemorySystem:
         for bank in self.banks:
             bank.time_skip = time_skip
 
-        while next_cmd < len(commands) or outstanding:
-            watchdog.check(cycle)
-            #: Did this iteration change any front-end-visible state?
-            #: Tracked only to decide whether computing a skip target is
-            #: worthwhile; missing an action is harmless (the bound is
-            #: recomputed from current state and stays conservative).
-            acted = False
-            # -- release transaction ids whose staging transfer finished --
-            if releases:
-                still: List[Tuple[int, int]] = []
-                for when, txn_id in releases:
-                    if when <= cycle:
-                        free_ids.append(txn_id)
-                        acted = True
-                    else:
-                        still.append((when, txn_id))
-                releases = still
+        front = _FrontEnd(self, commands, bus, capture_data)
+        kernel = SimKernel(watchdog=watchdog, time_skip=time_skip)
+        kernel.register(front)
+        kernel.register(_BusComponent(bus))
+        for bank in self.banks:
+            kernel.register(_BankComponent(bank, front, time_skip))
+        kernel.register(_CompletionUnit(front))
+        exit_cycle = kernel.run(front.done)
 
-            # -- one bus action per cycle ---------------------------------
-            # New commands take the bus while transaction ids remain (the
-            # infinitely-fast-CPU front end keeps the banks fed); staged
-            # read returns drain otherwise.  Staging strictly first would
-            # starve broadcasts whenever completions return quickly.
-            if bus.is_free(cycle):
-                issue_first = (
-                    next_cmd < len(commands)
-                    and free_ids
-                    and cycle >= next_issue_allowed
-                )
-                if stage_queue and not issue_first:
-                    acted = True
-                    txn = stage_queue.popleft()
-                    line = self._assemble_line(txn.txn_id, commands[txn.trace_index])
-                    if read_lines is not None:
-                        read_lines[read_slot_of_trace[txn.trace_index]] = line
-                    transfer_end = bus.stage_read(cycle)
-                    releases.append((transfer_end, txn.txn_id))
-                    latencies[txn.trace_index] = (
-                        transfer_end - txn.issue_cycle
-                    )
-                    del outstanding[txn.txn_id]
-                    end_cycle = max(end_cycle, transfer_end)
-                elif issue_first:
-                    acted = True
-                    command = commands[next_cmd]
-                    txn_id = free_ids.popleft()
-                    request_cycles = (
-                        command.broadcast_cycles
-                        if isinstance(command, ExplicitCommand)
-                        else 1
-                    )
-                    if command.access is AccessType.READ:
-                        # A multi-cycle broadcast (explicit address
-                        # stream) only finishes delivering addresses on
-                        # its last bus cycle; the banks cannot act on the
-                        # command before then.
-                        self._broadcast(
-                            txn_id, command, cycle + request_cycles - 1, None
-                        )
-                        bus.broadcast_request(cycle, request_cycles)
-                        outstanding[txn_id] = _Transaction(
-                            txn_id=txn_id,
-                            trace_index=next_cmd,
-                            is_write=False,
-                            issue_cycle=cycle,
-                            expected=_command_length(command),
-                        )
-                    else:
-                        # STAGE_WRITE command + data cycles, then the
-                        # VEC_WRITE (or explicit-address) broadcast.
-                        line = self._write_line(command)
-                        vec_write_cycle = bus.stage_write(
-                            cycle, request_cycles
-                        )
-                        # As for reads: the banks see the command once the
-                        # last broadcast cycle has delivered the final
-                        # addresses, so a write cannot commit while its
-                        # address stream is still on the bus.
-                        self._broadcast(
-                            txn_id,
-                            command,
-                            vec_write_cycle + request_cycles - 1,
-                            line,
-                        )
-                        outstanding[txn_id] = _Transaction(
-                            txn_id=txn_id,
-                            trace_index=next_cmd,
-                            is_write=True,
-                            issue_cycle=cycle,
-                            expected=_command_length(command),
-                        )
-                    next_cmd += 1
-                    next_issue_allowed = cycle + issue_interval
-
-            # -- clock the bank controllers -------------------------------
-            for bank in self.banks:
-                if time_skip and bank.quiet_at(cycle):
-                    continue
-                issued = bank.tick(cycle)
-                if issued is not None:
-                    acted = True
-                    txn = outstanding.get(issued.txn_id)
-                    if txn is None:
-                        raise ProtocolError(
-                            f"bank {bank.bank} issued for unknown "
-                            f"transaction {issued.txn_id}"
-                        )
-                    txn.done += 1
-                    if issued.data_cycle > txn.last_data_cycle:
-                        txn.last_data_cycle = issued.data_cycle
-
-            # -- transaction-complete lines -------------------------------
-            for txn in list(outstanding.values()):
-                if txn.done < txn.expected or cycle < txn.last_data_cycle:
-                    continue
-                if txn.is_write:
-                    acted = True
-                    for bank in self.banks:
-                        bank.release_write(txn.txn_id)
-                    free_ids.append(txn.txn_id)
-                    latencies[txn.trace_index] = cycle + 1 - txn.issue_cycle
-                    del outstanding[txn.txn_id]
-                    end_cycle = max(end_cycle, cycle + 1)
-                elif not txn.staged:
-                    acted = True
-                    txn.staged = True
-                    stage_queue.append(txn)
-
-            # -- advance time ---------------------------------------------
-            # Reference loop: one cycle at a time.  Fast path: after an
-            # iteration that changed nothing, jump straight to the
-            # earliest cycle at which anything *could* happen — the min
-            # over every component's next-event lower bound.  Any bound
-            # at or below the current cycle degrades to a plain tick, so
-            # underestimates cost time, never correctness.
-            if time_skip and not acted:
-                target = HORIZON
-                for when, _txn_id in releases:
-                    if when < target:
-                        target = when
-                if stage_queue and bus.busy_until < target:
-                    # A staged read waits only for the bus.
-                    target = bus.busy_until
-                if next_cmd < len(commands) and free_ids:
-                    # The next broadcast waits for the bus and the issue
-                    # throttle; with no free transaction id it instead
-                    # unblocks via a completion/release event above.
-                    gate = bus.busy_until
-                    if next_issue_allowed > gate:
-                        gate = next_issue_allowed
-                    if gate < target:
-                        target = gate
-                for txn in outstanding.values():
-                    # A fully-issued transaction completes once its last
-                    # data cycle passes.  Already-staged reads are the
-                    # bus's problem, handled above.
-                    if txn.done >= txn.expected and not txn.staged:
-                        if txn.last_data_cycle < target:
-                            target = txn.last_data_cycle
-                for bank in self.banks:
-                    bound = bank.next_event_cycle(cycle)
-                    if bound < target:
-                        target = bound
-                # Never jump past the watchdog's deadline: a deadlocked
-                # run must still raise SimulationTimeout.
-                limit = watchdog.cycle_limit + 1
-                if target > limit:
-                    target = limit
-                cycle = target if target > cycle else cycle + 1
-            else:
-                cycle += 1
-
+        total_cycles = max(front.end_cycle, exit_cycle)
         device_stats = self._aggregate_device_stats()
         reads = sum(1 for c in commands if c.access is AccessType.READ)
         writes = len(commands) - reads
         result = RunResult(
             system=self.name,
-            cycles=max(end_cycle, cycle),
+            cycles=total_cycles,
             commands=len(commands),
             read_commands=reads,
             write_commands=writes,
@@ -395,12 +524,13 @@ class PVAMemorySystem:
             ),
             device=device_stats,
             bus=bus.stats,
-            command_latencies=latencies,
+            command_latencies=front.latencies,
+            attribution=kernel.finalize(total_cycles),
         )
-        if read_lines is not None:
+        if front.read_lines is not None:
             result.read_lines = [
                 line if line is not None else ()
-                for line in read_lines
+                for line in front.read_lines
             ]
         return result
 

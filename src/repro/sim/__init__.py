@@ -1,7 +1,9 @@
-"""Simulation support: run results, statistics, and the memory-system
-runner protocol shared by the PVA unit and all baseline systems."""
+"""Simulation support: the shared clocked-component kernel, run results,
+statistics, and the memory-system runner protocol shared by the PVA unit
+and all baseline systems."""
 
-from repro.sim.stats import BusStats, RunResult
+from repro.sim.stats import BusStats, ComponentCycles, RunResult
+from repro.sim.kernel import ClockedComponent, PassiveComponent, SimKernel
 from repro.sim.runner import (
     MemorySystem,
     SimulationLimits,
@@ -12,7 +14,11 @@ from repro.sim.runner import (
 
 __all__ = [
     "BusStats",
+    "ClockedComponent",
+    "ComponentCycles",
+    "PassiveComponent",
     "RunResult",
+    "SimKernel",
     "MemorySystem",
     "SimulationLimits",
     "Watchdog",

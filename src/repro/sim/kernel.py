@@ -1,0 +1,272 @@
+"""The shared clocked-component simulation kernel.
+
+Every memory system in the library used to own a private run loop: the
+PVA front end's bus/bank/completion loop, and one analytic
+command-costing loop per serial baseline.  Each of them re-implemented
+the same skeleton — watchdog ticking, an acted-this-cycle flag, the
+next-event time-skip advance of :mod:`repro.sim.events`, and final
+statistics assembly — and each copy drifted independently.  This module
+replaces all of them with **one** loop.
+
+A system decomposes itself into :class:`ClockedComponent`\\ s (the PVA
+unit registers its front end, the vector bus, every bank controller and
+a completion unit; a serial baseline registers a single component) and
+hands them to a :class:`SimKernel`, which owns the canonical loop:
+
+1. ``watchdog.check(cycle)`` once per iteration;
+2. tick every component in registration order; each returns an *acted*
+   flag — did it change observable state this cycle?
+3. attribute the cycle to each component's busy/stalled/idle ledger;
+4. advance time: one cycle after an acted iteration, otherwise (in
+   time-skip mode) jump to the minimum of every component's
+   ``next_event_cycle`` lower bound, capped at the watchdog's cycle
+   limit so a deadlocked run still raises
+   :class:`~repro.errors.SimulationTimeout`.
+
+The lower-bound safety argument is therefore stated once, here, instead
+of once per system: the kernel only skips after an iteration in which
+**no** component acted, and each bound promises its component takes no
+action strictly before it (assuming nobody else acts — which the
+acted-flag aggregation guarantees).  An underestimated bound degrades
+to a plain tick; it can never change simulated behaviour.
+
+**Cycle attribution.**  The kernel keeps a per-component ledger of
+where cycles went: *busy* (the component acted), *stalled* (it had
+pending work but could not act), *idle* (nothing to do).  Ticked cycles
+are classified directly; skipped spans are classified through each
+component's :meth:`ClockedComponent.account` — legal because no state
+changes inside a skipped span, so one query describes every cycle in
+it.  The classification depends only on component state, never on which
+cycles the loop happened to visit, so the ledger is identical between
+the tick and time-skip loops and each component's buckets sum to the
+run's total cycle count (:meth:`SimKernel.finalize` pads the tail when
+a data transfer outlives the loop).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.sim.events import HORIZON
+from repro.sim.runner import Watchdog
+from repro.sim.stats import ComponentCycles
+
+__all__ = ["ClockedComponent", "PassiveComponent", "SimKernel"]
+
+#: (busy, stalled, idle) cycle counts for one quiet span.
+SpanSplit = Tuple[int, int, int]
+
+
+@runtime_checkable
+class ClockedComponent(Protocol):
+    """One clocked piece of a memory system, driven by the kernel.
+
+    ``name``
+        Stable label used in the attribution ledger (and therefore in
+        :class:`~repro.sim.stats.RunResult`, ``EngineMetrics`` and the
+        bench report).
+    ``tick(cycle)``
+        One cycle of work.  Returns True iff the component changed
+        observable state — the kernel may only time-skip after an
+        iteration in which every component returned False.
+    ``next_event_cycle(cycle)``
+        Lower bound on the next cycle at which :meth:`tick` could act,
+        under the contract of :mod:`repro.sim.events`.  Return
+        :data:`~repro.sim.events.HORIZON` when only another component's
+        action can re-enable this one.
+    ``account(start, end)``
+        Classify the quiet span ``[start, end)`` — cycles in which this
+        component provably did not act — into (busy, stalled, idle)
+        counts summing to ``end - start``.  Must depend only on current
+        component state so the split is identical whether the loop
+        visited those cycles one by one or jumped over them.  (A
+        passive component such as the bus may report *busy* here: it
+        carries data without taking scheduling actions.)
+    """
+
+    name: str
+
+    def tick(self, cycle: int) -> bool:
+        ...
+
+    def next_event_cycle(self, cycle: int) -> int:
+        ...
+
+    def account(self, start: int, end: int) -> SpanSplit:
+        ...
+
+
+class PassiveComponent:
+    """Convenience base for components that never take actions of their
+    own (state machines driven entirely by other components, like the
+    vector bus).  Subclasses override :meth:`account` to classify their
+    quiet cycles; ``tick`` never acts and ``next_event_cycle`` never
+    wakes the kernel."""
+
+    name = "passive"
+
+    def tick(self, cycle: int) -> bool:
+        return False
+
+    def next_event_cycle(self, cycle: int) -> int:
+        return HORIZON
+
+    def account(self, start: int, end: int) -> SpanSplit:
+        return (0, 0, end - start)
+
+
+class SimKernel:
+    """The canonical run loop over a registry of clocked components.
+
+    Parameters
+    ----------
+    watchdog:
+        The run's :class:`~repro.sim.runner.Watchdog`; checked once per
+        loop iteration, and its cycle limit caps every time-skip jump.
+    time_skip:
+        Resolved run-loop mode (see
+        :func:`repro.sim.events.time_skip_enabled`).  False ticks every
+        cycle — the reference loop; True enables the next-event jump.
+    """
+
+    def __init__(self, *, watchdog: Watchdog, time_skip: bool = True):
+        self.watchdog = watchdog
+        self.time_skip = time_skip
+        self._components: List[ClockedComponent] = []
+        self._ledger: Dict[str, ComponentCycles] = {}
+        self.cycle = 0
+        self._finalized_to: Optional[int] = None
+
+    # ------------------------------------------------------------- #
+    # Registry
+    # ------------------------------------------------------------- #
+
+    def register(self, component: ClockedComponent) -> ClockedComponent:
+        """Add a component; tick order is registration order."""
+        name = getattr(component, "name", None)
+        if not name:
+            raise ConfigurationError(
+                f"component {component!r} has no usable name"
+            )
+        if name in self._ledger:
+            raise ConfigurationError(
+                f"component name {name!r} registered twice"
+            )
+        self._components.append(component)
+        self._ledger[name] = ComponentCycles()
+        return component
+
+    @property
+    def components(self) -> Tuple[ClockedComponent, ...]:
+        return tuple(self._components)
+
+    # ------------------------------------------------------------- #
+    # The loop
+    # ------------------------------------------------------------- #
+
+    def run(self, done: Callable[[], bool]) -> int:
+        """Drive all registered components until ``done()``; return the
+        final cycle (the first cycle value at which ``done`` held)."""
+        if not self._components:
+            raise ConfigurationError(
+                "SimKernel.run called with no registered components"
+            )
+        components = self._components
+        ledger = self._ledger
+        watchdog = self.watchdog
+        time_skip = self.time_skip
+        cycle = self.cycle
+        acted_flags = [False] * len(components)
+        while not done():
+            watchdog.check(cycle)
+            acted_any = False
+            for position, component in enumerate(components):
+                acted = component.tick(cycle)
+                acted_flags[position] = acted
+                if acted:
+                    acted_any = True
+            # -- attribute this (visited) cycle ----------------------
+            for position, component in enumerate(components):
+                entry = ledger[component.name]
+                if acted_flags[position]:
+                    entry.busy += 1
+                else:
+                    busy, stalled, idle = component.account(cycle, cycle + 1)
+                    entry.busy += busy
+                    entry.stalled += stalled
+                    entry.idle += idle
+            # -- advance time ----------------------------------------
+            # Reference loop: one cycle at a time.  Fast path: after an
+            # iteration in which nothing acted, jump to the earliest
+            # cycle at which anything *could* happen — the min over
+            # every component's lower bound, capped at the watchdog's
+            # deadline so a deadlocked run still times out.  A bound at
+            # or below the current cycle degrades to a plain tick.
+            if time_skip and not acted_any:
+                target = HORIZON
+                for component in components:
+                    bound = component.next_event_cycle(cycle)
+                    if bound < target:
+                        target = bound
+                limit = watchdog.cycle_limit + 1
+                if target > limit:
+                    target = limit
+                if target > cycle + 1:
+                    for component in components:
+                        busy, stalled, idle = component.account(
+                            cycle + 1, target
+                        )
+                        entry = ledger[component.name]
+                        entry.busy += busy
+                        entry.stalled += stalled
+                        entry.idle += idle
+                    cycle = target
+                else:
+                    cycle += 1
+            else:
+                cycle += 1
+        self.cycle = cycle
+        return cycle
+
+    # ------------------------------------------------------------- #
+    # Attribution ledger
+    # ------------------------------------------------------------- #
+
+    def finalize(self, total_cycles: int) -> Dict[str, ComponentCycles]:
+        """Close the ledger at ``total_cycles`` and return it.
+
+        The loop exits as soon as the last transaction is accounted for,
+        which can be *before* its final data transfer leaves the bus; the
+        tail span ``[exit_cycle, total_cycles)`` is attributed here so
+        every component's buckets sum to the run's reported cycle count.
+        Idempotent for a fixed ``total_cycles``.
+        """
+        if self._finalized_to is None:
+            if total_cycles < self.cycle:
+                raise ConfigurationError(
+                    f"finalize({total_cycles}) below the kernel's final "
+                    f"cycle {self.cycle}"
+                )
+            if total_cycles > self.cycle:
+                for component in self._components:
+                    busy, stalled, idle = component.account(
+                        self.cycle, total_cycles
+                    )
+                    entry = self._ledger[component.name]
+                    entry.busy += busy
+                    entry.stalled += stalled
+                    entry.idle += idle
+            self._finalized_to = total_cycles
+        elif total_cycles != self._finalized_to:
+            raise ConfigurationError(
+                f"kernel already finalized at {self._finalized_to} cycles; "
+                f"cannot re-finalize at {total_cycles}"
+            )
+        return dict(self._ledger)
+
+    @property
+    def ledger(self) -> Dict[str, ComponentCycles]:
+        """Live view of the attribution ledger (component name ->
+        :class:`~repro.sim.stats.ComponentCycles`)."""
+        return dict(self._ledger)

@@ -15,7 +15,45 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.sdram.devstats import DeviceStats
 
-__all__ = ["BusStats", "RunResult"]
+__all__ = ["BusStats", "ComponentCycles", "RunResult"]
+
+
+@dataclass
+class ComponentCycles:
+    """Where one clocked component spent the run, cycle by cycle.
+
+    Every simulated cycle of a run is attributed to exactly one of the
+    three buckets, per component, by the simulation kernel
+    (:class:`repro.sim.kernel.SimKernel`):
+
+    * **busy** — the component changed observable state this cycle
+      (issued an operation, moved data, retired a transaction);
+    * **stalled** — it had pending work but could not act (waiting on a
+      restimer, the bus, or another component);
+    * **idle** — it had nothing to do.
+
+    The invariant ``busy + stalled + idle == RunResult.cycles`` holds for
+    every registered component; the bench harness cross-checks it.
+    """
+
+    busy: int = 0
+    stalled: int = 0
+    idle: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.busy + self.stalled + self.idle
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"busy": self.busy, "stalled": self.stalled, "idle": self.idle}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "ComponentCycles":
+        return cls(
+            busy=int(data.get("busy", 0)),
+            stalled=int(data.get("stalled", 0)),
+            idle=int(data.get("idle", 0)),
+        )
 
 
 @dataclass
@@ -57,6 +95,11 @@ class RunResult:
     #: end for reads, commit for writes), in trace order.  Populated by
     #: the cycle-level PVA systems; None for the analytic baselines.
     command_latencies: Optional[List[int]] = None
+    #: Per-component cycle attribution (component name ->
+    #: :class:`ComponentCycles`), recorded by the simulation kernel.
+    #: Identical between the tick and time-skip run loops, and every
+    #: component's buckets sum to :attr:`cycles`.
+    attribution: Optional[Dict[str, ComponentCycles]] = None
 
     @property
     def cycles_per_command(self) -> float:
@@ -76,6 +119,24 @@ class RunResult:
         if baseline.cycles == 0:
             raise ZeroDivisionError("baseline completed in zero cycles")
         return self.cycles / baseline.cycles
+
+    def attribution_consistent(self) -> bool:
+        """Does every component's busy/stalled/idle split sum to the
+        run's total cycle count?  Vacuously True without attribution."""
+        if not self.attribution:
+            return True
+        return all(
+            entry.total == self.cycles for entry in self.attribution.values()
+        )
+
+    def attribution_summary(self) -> Optional[Dict[str, Dict[str, int]]]:
+        """The attribution ledger as plain nested dicts (JSON-ready)."""
+        if self.attribution is None:
+            return None
+        return {
+            name: entry.as_dict()
+            for name, entry in self.attribution.items()
+        }
 
     def latency_summary(self) -> Optional[Dict[str, float]]:
         """Min/mean/max per-command latency, when recorded."""

@@ -1,4 +1,4 @@
-"""The repro.api facade: registry, simulate(), and deprecation shims."""
+"""The repro.api facade: registry, simulate(), and removed-shim errors."""
 
 import warnings
 
@@ -12,7 +12,7 @@ from repro.api import (
     simulate,
     system_entry,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.kernels import build_trace, kernel_by_name
 from repro.params import SystemParams
 
@@ -90,25 +90,34 @@ def test_top_level_reexports():
     assert repro.available_systems is available_systems
 
 
-def test_deprecated_constructor_shims_warn():
-    with pytest.deprecated_call():
-        repro.PVAMemorySystem
-    with pytest.deprecated_call():
-        repro.CacheLineSerialSDRAM
-    # The shim returns the real class.
-    from repro.pva import PVAMemorySystem
+@pytest.mark.parametrize(
+    "name",
+    [
+        "PVAMemorySystem",
+        "CacheLineSerialSDRAM",
+        "GatheringSerialSDRAM",
+        "make_pva_sram",
+    ],
+)
+def test_removed_constructor_shims_raise(name):
+    with pytest.raises(ReproError) as excinfo:
+        getattr(repro, name)
+    # The error points at the facade replacement.
+    assert "build_system" in str(excinfo.value)
+    assert name not in repro.__all__
 
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        assert repro.PVAMemorySystem is PVAMemorySystem
+
+def test_unknown_top_level_name_still_attribute_error():
+    with pytest.raises(AttributeError):
+        repro.definitely_not_a_name
 
 
-def test_deprecated_grid_systems_mapping_warns():
+def test_removed_grid_systems_mapping_raises():
     import repro.experiments.grid as grid_module
 
-    with pytest.deprecated_call():
-        systems = grid_module.SYSTEMS
-    assert set(systems) == set(available_systems())
+    with pytest.raises(ReproError) as excinfo:
+        grid_module.SYSTEMS
+    assert "available_systems" in str(excinfo.value)
 
 
 def test_home_module_imports_stay_warning_free():

@@ -163,9 +163,42 @@ class TestSimThroughputMetrics:
         from repro.engine import execute_point_timed
 
         point = _points()[0]
-        cycles, seconds = execute_point_timed(point)
+        cycles, seconds, attribution = execute_point_timed(point)
         assert cycles == execute_point(point)
         assert seconds > 0
+        # The attribution ledger rides along and sums to the cycle count.
+        assert attribution
+        for buckets in attribution.values():
+            assert (
+                buckets["busy"] + buckets["stalled"] + buckets["idle"]
+                == cycles
+            )
+
+    def test_metrics_aggregate_component_cycles(self):
+        points = _points()
+        recorder = Recorder()
+        engine = ExperimentEngine(jobs=1, hooks=recorder)
+        engine.run(points)
+        component_cycles = engine.metrics.component_cycles
+        # Both system families contribute their own components.
+        assert "front-end" in component_cycles
+        assert "serial-engine" in component_cycles
+        # The totals are exactly the fold of the unique executions'
+        # per-point ledgers.
+        expected = {}
+        for outcome in recorder.outcomes:
+            if outcome.cached or outcome.coalesced or not outcome.attribution:
+                continue
+            for name, buckets in outcome.attribution.items():
+                entry = expected.setdefault(
+                    name, {"busy": 0, "stalled": 0, "idle": 0}
+                )
+                for bucket in entry:
+                    entry[bucket] += buckets[bucket]
+        assert component_cycles == expected
+        assert (
+            engine.metrics.summary()["component_cycles"] == component_cycles
+        )
 
     def test_metrics_accumulate_cycles_and_seconds(self):
         points = _points()

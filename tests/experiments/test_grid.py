@@ -2,10 +2,10 @@
 
 import pytest
 
+from repro.api import available_systems
 from repro.experiments.grid import (
     EVAL_KERNELS,
     EVAL_STRIDES,
-    SYSTEMS,
     run_grid,
     run_point,
 )
@@ -32,7 +32,7 @@ class TestGridShape:
         assert len(EVAL_KERNELS) * len(EVAL_STRIDES) * len(ALIGNMENTS) == 240
 
     def test_all_four_systems_registered(self):
-        assert set(SYSTEMS) == {
+        assert set(available_systems()) == {
             "pva-sdram",
             "pva-sram",
             "cacheline-serial",
@@ -42,7 +42,7 @@ class TestGridShape:
     def test_grid_contains_every_point(self, small_grid):
         assert len(small_grid.cycles) == 2 * 2 * 2
         point = small_grid.point("copy", 1, "aligned")
-        assert set(point) == set(SYSTEMS)
+        assert set(point) == set(available_systems())
         assert all(v > 0 for v in point.values())
 
     def test_min_max_over_alignments(self, small_grid):

@@ -1,0 +1,160 @@
+"""Unit tests for the shared clocked-component simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationTimeout
+from repro.sim.events import HORIZON
+from repro.sim.kernel import PassiveComponent, SimKernel
+from repro.sim.runner import SimulationLimits, Watchdog
+from repro.sim.stats import ComponentCycles
+
+
+class Pulse:
+    """A toy component that acts at the scheduled cycles, stalls while
+    work remains, and idles after."""
+
+    def __init__(self, name, schedule):
+        self.name = name
+        self.schedule = sorted(schedule)
+        self.fired = []
+        self.tick_calls = 0
+
+    def tick(self, cycle):
+        self.tick_calls += 1
+        if self.schedule and self.schedule[0] == cycle:
+            self.fired.append(self.schedule.pop(0))
+            return True
+        return False
+
+    def next_event_cycle(self, cycle):
+        return self.schedule[0] if self.schedule else HORIZON
+
+    def account(self, start, end):
+        span = end - start
+        return (0, span, 0) if self.schedule else (0, 0, span)
+
+    def done(self):
+        return not self.schedule
+
+
+def _watchdog(budget=4096):
+    return Watchdog(
+        1,
+        system="test",
+        limits=SimulationLimits(max_cycles_per_command=budget),
+    )
+
+
+def _run(schedules, time_skip):
+    kernel = SimKernel(watchdog=_watchdog(), time_skip=time_skip)
+    pulses = [
+        kernel.register(Pulse(f"pulse-{i}", schedule))
+        for i, schedule in enumerate(schedules)
+    ]
+    exit_cycle = kernel.run(lambda: all(p.done() for p in pulses))
+    return kernel, pulses, exit_cycle
+
+
+class TestRegistry:
+    def test_nameless_component_rejected(self):
+        kernel = SimKernel(watchdog=_watchdog())
+
+        class Nameless:
+            name = ""
+
+        with pytest.raises(ConfigurationError):
+            kernel.register(Nameless())
+
+    def test_duplicate_name_rejected(self):
+        kernel = SimKernel(watchdog=_watchdog())
+        kernel.register(Pulse("dup", [1]))
+        with pytest.raises(ConfigurationError):
+            kernel.register(Pulse("dup", [2]))
+
+    def test_run_without_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimKernel(watchdog=_watchdog()).run(lambda: True)
+
+
+class TestLoopEquivalence:
+    SCHEDULES = [[3, 7, 40], [5, 41], []]
+
+    def test_skip_matches_tick(self):
+        tick_kernel, tick_pulses, tick_exit = _run(self.SCHEDULES, False)
+        skip_kernel, skip_pulses, skip_exit = _run(self.SCHEDULES, True)
+        assert skip_exit == tick_exit
+        assert [p.fired for p in skip_pulses] == [
+            p.fired for p in tick_pulses
+        ]
+        assert skip_kernel.ledger == tick_kernel.ledger
+
+    def test_skip_visits_fewer_cycles(self):
+        _, tick_pulses, _ = _run(self.SCHEDULES, False)
+        _, skip_pulses, _ = _run(self.SCHEDULES, True)
+        assert skip_pulses[0].tick_calls < tick_pulses[0].tick_calls
+
+    def test_ledger_buckets_sum_to_exit_cycle(self):
+        for time_skip in (False, True):
+            kernel, _, exit_cycle = _run(self.SCHEDULES, time_skip)
+            for entry in kernel.ledger.values():
+                assert entry.total == exit_cycle
+
+    def test_passive_component_never_wakes_the_kernel(self):
+        kernel = SimKernel(watchdog=_watchdog(), time_skip=True)
+        pulse = kernel.register(Pulse("pulse", [9]))
+        kernel.register(PassiveComponent())
+        exit_cycle = kernel.run(pulse.done)
+        assert exit_cycle == 10
+        # The pulse visited far fewer than 10 cycles: the passive
+        # component's HORIZON bound let the jump straight to cycle 9.
+        assert pulse.tick_calls <= 3
+        assert kernel.ledger["passive"].idle == exit_cycle
+
+
+class TestWatchdog:
+    @pytest.mark.parametrize("time_skip", [False, True])
+    def test_deadlock_times_out(self, time_skip):
+        """A done() that never holds must raise SimulationTimeout even
+        when every bound is HORIZON — the skip target is capped at the
+        watchdog's cycle limit."""
+        kernel = SimKernel(
+            watchdog=_watchdog(budget=64), time_skip=time_skip
+        )
+        kernel.register(Pulse("stuck", []))
+        with pytest.raises(SimulationTimeout):
+            kernel.run(lambda: False)
+
+
+class TestFinalize:
+    def test_tail_padding_completes_the_ledger(self):
+        kernel, _, exit_cycle = _run([[3]], True)
+        ledger = kernel.finalize(exit_cycle + 10)
+        entry = ledger["pulse-0"]
+        assert entry.total == exit_cycle + 10
+        assert entry.idle >= 10  # the padded tail is post-work idle
+
+    def test_idempotent_for_fixed_total(self):
+        kernel, _, exit_cycle = _run([[3]], True)
+        first = kernel.finalize(exit_cycle + 5)
+        second = kernel.finalize(exit_cycle + 5)
+        assert first == second
+
+    def test_conflicting_totals_rejected(self):
+        kernel, _, exit_cycle = _run([[3]], True)
+        kernel.finalize(exit_cycle + 5)
+        with pytest.raises(ConfigurationError):
+            kernel.finalize(exit_cycle + 6)
+
+    def test_total_below_exit_cycle_rejected(self):
+        kernel, _, exit_cycle = _run([[3]], True)
+        with pytest.raises(ConfigurationError):
+            kernel.finalize(exit_cycle - 1)
+
+    def test_ledger_values_are_component_cycles(self):
+        kernel, _, exit_cycle = _run([[3]], False)
+        ledger = kernel.finalize(exit_cycle)
+        assert all(
+            isinstance(entry, ComponentCycles) for entry in ledger.values()
+        )

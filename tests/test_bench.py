@@ -40,6 +40,15 @@ class TestRunBench:
         assert report["grid"]["tick_seconds"] > 0
         assert report["speedup"] > 0
 
+    def test_report_carries_attribution(self, quick_report):
+        entry = quick_report["systems"]["pva-sdram"]
+        attribution = entry["attribution"]
+        assert "front-end" in attribution
+        assert any(name.startswith("bank-") for name in attribution)
+        for buckets in attribution.values():
+            total = buckets["busy"] + buckets["stalled"] + buckets["idle"]
+            assert total == entry["simulated_cycles"]
+
     def test_report_is_json_serializable(self, quick_report):
         parsed = json.loads(json.dumps(quick_report))
         assert parsed["systems"]["pva-sdram"]["simulated_cycles"] > 0

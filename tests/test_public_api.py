@@ -20,17 +20,17 @@ class TestExports:
     def test_quickstart_snippet(self):
         """The README's quickstart must keep working verbatim."""
         from repro import (
-            PVAMemorySystem,
             SystemParams,
             build_trace,
             kernel_by_name,
+            simulate,
         )
 
         params = SystemParams()
         trace = build_trace(
             kernel_by_name("copy"), stride=4, params=params, elements=64
         )
-        result = PVAMemorySystem(params).run(trace)
+        result = simulate(trace, params, system="pva-sdram")
         assert result.cycles > 0
         assert "cycles" in result.summary()
 
