@@ -45,6 +45,12 @@ __all__ = ["HEADLINE_STRIDE", "run_bench", "format_bench", "main"]
 #: The grid slice the benchmark times: the paper's worst-case stride.
 HEADLINE_STRIDE = 19
 
+#: pva-sdram dense stride-19 tick rate (cycles/second) recorded in
+#: BENCH_sim.json immediately before the hit-schedule precompute layer
+#: landed — the reference point for ``--min-precompute-speedup``, which
+#: fails CI when the fast path regresses below a multiple of it.
+BASELINE_TICK_CYCLES_PER_SECOND = 18099.8
+
 #: ``--quick`` workload (CI smoke): two kernels, one alignment.
 QUICK_KERNELS = ("copy", "saxpy")
 
@@ -259,6 +265,64 @@ def run_bench(
                 "skip_seconds": round(sparse_skip, 4),
                 "speedup": round(sparse_tick / sparse_skip, 3),
             }
+
+        # Tertiary scenario: the broadcast-time hit-schedule precompute
+        # (repro.pva.schedule) against the incremental FirstHit/NextHit
+        # expansion it replaces, both under the reference tick loop on
+        # the headline pva-sdram system.  The two paths must agree on
+        # cycles *and* the attribution ledger — the precompute layer is
+        # a pure representation change.
+        if "pva-sdram" in names:
+            pre_params = replace(tick_params, precompute=True)
+            inc_params = replace(tick_params, precompute=False)
+            traces = [
+                build_trace(
+                    kernel_by_name(kernel),
+                    stride=stride,
+                    params=pre_params,
+                    elements=elements,
+                    alignment=alignment,
+                )
+                for kernel, alignment in cases
+            ]
+            pre = _time_mode("pva-sdram", pre_params, traces, repeats)
+            inc = _time_mode("pva-sdram", inc_params, traces, repeats)
+            if pre["cycles"] != inc["cycles"]:
+                raise ConfigurationError(
+                    "pva-sdram: precomputed and incremental expansion "
+                    f"disagree on total cycles ({pre['cycles']} vs "
+                    f"{inc['cycles']}) — the hit-schedule table is broken; "
+                    "refusing to benchmark it"
+                )
+            if pre["attribution"] != inc["attribution"]:
+                raise ConfigurationError(
+                    "pva-sdram: precomputed and incremental expansion "
+                    "disagree on the per-component attribution ledger"
+                )
+            pre_rate = (
+                pre["cycles"] / pre["seconds"] if pre["seconds"] > 0 else 0.0
+            )
+            report["precompute"] = {
+                "system": "pva-sdram",
+                "simulated_cycles": pre["cycles"],
+                "precompute_seconds": round(pre["seconds"], 4),
+                "incremental_seconds": round(inc["seconds"], 4),
+                "precompute_cycles_per_second": round(pre_rate, 1),
+                "incremental_cycles_per_second": round(
+                    inc["cycles"] / inc["seconds"], 1
+                )
+                if inc["seconds"] > 0
+                else 0.0,
+                "speedup": round(inc["seconds"] / pre["seconds"], 3)
+                if pre["seconds"] > 0
+                else 0.0,
+                "baseline_tick_cycles_per_second": (
+                    BASELINE_TICK_CYCLES_PER_SECOND
+                ),
+                "speedup_vs_baseline": round(
+                    pre_rate / BASELINE_TICK_CYCLES_PER_SECOND, 3
+                ),
+            }
         return report
     finally:
         if saved_env is not None:
@@ -308,6 +372,16 @@ def format_bench(report: Dict) -> str:
             f"skip {sparse['skip_seconds']:.2f}s — "
             f"speedup {sparse['speedup']:.2f}x"
         )
+    pre = report.get("precompute")
+    if pre:
+        summary += (
+            f"\nhit-schedule precompute ({pre['system']}, tick loop): "
+            f"precomputed {pre['precompute_seconds']:.2f}s "
+            f"({pre['precompute_cycles_per_second'] / 1000.0:.0f}k cyc/s), "
+            f"incremental {pre['incremental_seconds']:.2f}s — "
+            f"speedup {pre['speedup']:.2f}x vs incremental, "
+            f"{pre['speedup_vs_baseline']:.2f}x vs recorded baseline"
+        )
     return f"{table}\n{summary}"
 
 
@@ -336,4 +410,24 @@ def main(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    min_pre = getattr(args, "min_precompute_speedup", None)
+    if min_pre is not None:
+        pre = report.get("precompute")
+        if pre is None:
+            print(
+                "error: --min-precompute-speedup given but the workload "
+                "did not include the pva-sdram precompute section",
+                file=sys.stderr,
+            )
+            return 1
+        if pre["speedup_vs_baseline"] < min_pre:
+            print(
+                f"error: precompute tick rate "
+                f"{pre['precompute_cycles_per_second']:.0f} cyc/s is only "
+                f"{pre['speedup_vs_baseline']:.3f}x the recorded baseline "
+                f"({BASELINE_TICK_CYCLES_PER_SECOND:.0f} cyc/s); required "
+                f"{min_pre:.3f}x",
+                file=sys.stderr,
+            )
+            return 1
     return 0

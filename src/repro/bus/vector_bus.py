@@ -32,6 +32,8 @@ __all__ = ["VectorBus"]
 class VectorBus:
     """Cycle-occupancy state machine of the vector bus."""
 
+    __slots__ = ("params", "busy_until", "last_data_was_write", "stats")
+
     def __init__(self, params: SystemParams):
         self.params = params
         self.busy_until = 0

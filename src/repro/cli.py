@@ -320,6 +320,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="exit non-zero unless skip is at least X times faster",
     )
+    bench_parser.add_argument(
+        "--min-precompute-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "exit non-zero unless the hit-schedule precompute path's "
+            "dense-slice tick rate is at least X times the recorded "
+            "pre-precompute baseline"
+        ),
+    )
 
     sweep_parser = sub.add_parser(
         "sweep", help="dense stride sweep on one kernel"

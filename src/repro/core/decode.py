@@ -14,6 +14,7 @@ that are multiples of ``2**s``) and the revisit period
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.errors import ConfigurationError, VectorSpecError
 from repro.params import is_power_of_two, log2_exact
@@ -48,14 +49,15 @@ class BankDecoder:
                 f"block_words must be a power of two, got {self.block_words}"
             )
 
-    @property
+    @cached_property
     def bank_bits(self) -> int:
-        """``m`` such that ``num_banks == 2**m``."""
+        """``m`` such that ``num_banks == 2**m`` (cached: hot in
+        ``bank_of``/``local_word``)."""
         return log2_exact(self.num_banks, "num_banks")
 
-    @property
+    @cached_property
     def block_bits(self) -> int:
-        """``n`` such that ``block_words == 2**n``."""
+        """``n`` such that ``block_words == 2**n`` (cached likewise)."""
         return log2_exact(self.block_words, "block_words")
 
     def bank_of(self, address: int) -> int:

@@ -121,7 +121,7 @@ class K1PLA:
         return len(self._table)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=32)
 def shared_k1_pla(num_banks: int) -> K1PLA:
     """Process-wide compiled K1 PLA for a bank count.
 
@@ -132,6 +132,11 @@ def shared_k1_pla(num_banks: int) -> K1PLA:
     mask ROM.  Construction is O(M) table rows but happens per *system*
     in hot sweep loops, so memoizing it is a real win for the
     experiment engine.
+
+    LRU-bounded (legal bank counts are powers of two, so 32 entries
+    cover every geometry up to 2**32 banks) and hooked into
+    :func:`repro.api.clear_caches` so long-lived engine workers can
+    release it.
     """
     return K1PLA(num_banks)
 

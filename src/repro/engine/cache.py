@@ -13,9 +13,11 @@ shared by concurrent runs never serves a torn entry; corrupt or
 unreadable entries are treated as misses and removed.  Documents are
 validated on both sides of the disk: :meth:`ResultCache.put` rejects
 records without a non-negative integer ``cycles``
-(:class:`~repro.errors.CacheIntegrityError`), and :meth:`ResultCache.get`
-treats such records — e.g. written by a corruptor or an older tool — as
-misses.  Maintenance paths (``__len__``, ``clear``) skip stray files
+(:class:`~repro.errors.CacheIntegrityError`) and stamps each stored
+document with :data:`SCHEMA_VERSION`; :meth:`ResultCache.get` treats
+invalid records and stale schema stamps — e.g. written by a corruptor
+or an older tool — as misses, so format changes cause a recompute,
+never a misread.  Maintenance paths (``__len__``, ``clear``) skip stray files
 (editor droppings, orphaned temp files), so a polluted directory cannot
 crash them.
 """
@@ -30,7 +32,14 @@ from typing import Dict, Iterator, Optional, Union
 
 from repro.errors import CacheIntegrityError
 
-__all__ = ["ResultCache"]
+__all__ = ["ResultCache", "SCHEMA_VERSION"]
+
+#: Document-format version stamped into every stored entry.  Bumped when
+#: the stored fields change meaning (version 2: point keys canonicalize
+#: the ``precompute`` system parameter).  Entries stamped differently —
+#: or not at all — are recomputed rather than reinterpreted, even if a
+#: key collision ever served one across versions.
+SCHEMA_VERSION = 2
 
 
 def _valid_document(document) -> bool:
@@ -71,6 +80,8 @@ class ResultCache:
             return None
         if not _valid_document(document):
             return None
+        if document.get("schema_version") != SCHEMA_VERSION:
+            return None  # stale format: recompute, don't misread
         return document
 
     def put(self, key: str, document: Dict) -> None:
@@ -85,6 +96,7 @@ class ResultCache:
                 "cache documents require a non-negative integer 'cycles' "
                 f"field, got {document!r:.120}"
             )
+        document = {**document, "schema_version": SCHEMA_VERSION}
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, temp_name = tempfile.mkstemp(

@@ -534,6 +534,13 @@ class ExperimentEngine:
         finally:
             pool.terminate()
             pool.join()
+            # Worker teardown: drop the process-wide simulation memos
+            # (PLA tables, hit schedules) the batch grew in this parent
+            # process — sweeps touch many geometries and vectors, and
+            # nothing between batches needs the warm entries.
+            from repro.api import clear_caches
+
+            clear_caches()
 
     def _fill_pool(
         self,

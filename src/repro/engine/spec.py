@@ -41,7 +41,9 @@ __all__ = [
 
 #: Bump when the simulator's timing semantics or the key layout change:
 #: the salt folds this into every key, invalidating stale cache entries.
-CACHE_SCHEMA_VERSION = 1
+#: Version 2: SystemParams grew ``precompute`` (canonicalized into every
+#: point key) and documents carry ``schema_version``.
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ Both are frozen; experiments derive variants with :func:`dataclasses.replace`.
 
 from __future__ import annotations
 
+from functools import cached_property
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
@@ -158,6 +159,13 @@ class SystemParams:
     #: Cycle-exact with the reference tick loop (False); the
     #: ``REPRO_TIME_SKIP`` environment variable overrides this field.
     time_skip: bool = True
+    #: Precompute each bank's full hit schedule (indices, local words and
+    #: decoded device coordinates) at broadcast time and run the bank
+    #: controllers on cursor reads plus quiet-cycle gating
+    #: (:mod:`repro.pva.schedule`).  Cycle-exact with the incremental
+    #: reference expansion (False); ``python -m repro bench`` carries a
+    #: ``precompute`` section cross-checking the two.
+    precompute: bool = True
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.num_banks):
@@ -191,9 +199,10 @@ class SystemParams:
         if self.issue_interval < 0:
             raise ConfigurationError("issue_interval must be >= 0")
 
-    @property
+    @cached_property
     def bank_bits(self) -> int:
-        """``m`` such that ``num_banks == 2**m``."""
+        """``m`` such that ``num_banks == 2**m`` (cached: read on every
+        broadcast and local-address computation)."""
         return log2_exact(self.num_banks, "num_banks")
 
     @property

@@ -22,6 +22,7 @@ from repro.errors import CapacityError
 from repro.params import SystemParams
 from repro.pva.fhp import FirstHitCalculator, FirstHitPredictor
 from repro.pva.request import BCRequest
+from repro.pva.schedule import pairs_schedule, stride_schedule
 from repro.pva.scheduler import AccessScheduler, IssuedColumn
 from repro.pva.staging import ReadStagingUnit, WriteStagingUnit
 from repro.sim.events import HORIZON
@@ -32,6 +33,24 @@ __all__ = ["BankController"]
 
 class BankController:
     """One bank's parallelizing logic, scheduler and staging units."""
+
+    __slots__ = (
+        "bank",
+        "params",
+        "device",
+        "fhp",
+        "fhc",
+        "rqf",
+        "scheduler",
+        "read_staging",
+        "write_staging",
+        "time_skip",
+        "fast_gating",
+        "acted",
+        "_geom",
+        "_skip_until",
+        "_check_refresh",
+    )
 
     def __init__(self, bank: int, params: SystemParams, device, pla: K1PLA):
         self.bank = bank
@@ -46,6 +65,27 @@ class BankController:
         #: Set by the front end when the time-skip run loop is active;
         #: gates the per-bank stall cache below.
         self.time_skip = False
+        #: The PR's tick-mode fast path: reuse the quiet/stall gating the
+        #: skip loop already proves cycle-exact, even under plain ticking.
+        self.fast_gating = params.precompute
+        #: Did the last tick() change any state (refresh, dequeue, row or
+        #: column operation)?  The system component reads this instead of
+        #: diffing operation counters.
+        self.acted = False
+        #: Geometry descriptor handed to the hit-schedule precompute;
+        #: ``None`` (unknown device, or precompute disabled) keeps every
+        #: request on the incremental expansion path.
+        self._geom = (
+            getattr(device, "schedule_geometry", None)
+            if params.precompute
+            else None
+        )
+        #: Refresh is consulted per tick only when the device actually
+        #: schedules refreshes (None-ness of next_refresh_cycle is fixed
+        #: at construction).
+        self._check_refresh = (
+            device.has_rows and device.next_refresh_cycle is not None
+        )
         #: :meth:`tick` is a provable no-op on every cycle strictly
         #: before this bound (recomputed after an unproductive tick,
         #: reset whenever a broadcast hands the bank new work).
@@ -77,20 +117,39 @@ class BankController:
 
         Returns this bank's element count for the transaction.
         """
-        sub = self.fhp.predict(vector)
-        expected = 0 if sub is None else sub.count
+        if self._geom is not None:
+            # Broadcast-time precompute: the full hit table, memoized on
+            # the vector/geometry value, replaces the FHP subvector
+            # entirely (both evaluate theorem 4.3 — the equivalence is
+            # fuzzed by tests/pva/test_schedule.py).  The vector context
+            # runs on the table's cursor, so the incremental sub/step
+            # fields stay unused.
+            schedule = stride_schedule(
+                vector.base,
+                vector.stride,
+                vector.length,
+                self.bank,
+                self.params.num_banks,
+                self._geom,
+            )
+            sub = None
+            expected = 0 if schedule is None else schedule.count
+        else:
+            schedule = None
+            sub = self.fhp.predict(vector)
+            expected = 0 if sub is None else sub.count
         if is_write:
             self.write_staging.open(txn_id, expected)
         else:
             self.read_staging.open(txn_id, expected)
-        if sub is None:
+        if expected == 0:
             return 0
         if len(self.rqf) >= self.params.request_fifo_depth:
             raise CapacityError(
                 f"bank {self.bank}: request FIFO overflow "
                 f"(depth {self.params.request_fifo_depth})"
             )
-        idle = self.is_idle
+        idle = not self.rqf and not self.scheduler.window
         if self.fhp.stride_is_power_of_two(vector.stride):
             # FHP completed the address (shift/mask); the request is
             # visible to the scheduler after the RQF write, or a cycle
@@ -102,16 +161,23 @@ class BankController:
         else:
             # FHC multiply-add path; arrival is the RQF-write cycle.
             ready_cycle = self.fhc.schedule(cycle + 1, idle)
+        if schedule is not None:
+            local_first = schedule.local_words[0]
+            local_step = 0  # cursor mode never reads the step
+        else:
+            local_first = self.fhp.local_address(sub.first_address)
+            local_step = self.fhp.local_step(sub)
         req = BCRequest(
             txn_id=txn_id,
             vector=vector,
             is_write=is_write,
             sub=sub,
-            local_first=self.fhp.local_address(sub.first_address),
-            local_step=self.fhp.local_step(sub),
+            local_first=local_first,
+            local_step=local_step,
             acc=True,
             ready_cycle=ready_cycle,
             write_line=write_line,
+            schedule=schedule,
         )
         self.rqf.append(req)
         self._skip_until = 0
@@ -198,6 +264,11 @@ class BankController:
                 ready_cycle=ready_cycle,
                 write_line=write_line,
                 explicit=pairs,
+                schedule=(
+                    pairs_schedule(pairs, self._geom)
+                    if self._geom is not None
+                    else None
+                ),
             )
         )
         self._skip_until = 0
@@ -280,34 +351,36 @@ class BankController:
         operation.  Issued columns are routed to the staging units and
         reported to the caller for transaction accounting.
         """
-        if self.device.has_rows and self.device.maybe_refresh(cycle):
+        if self._check_refresh and self.device.maybe_refresh(cycle):
+            self.acted = True
             return None  # the device is refreshing; no command this cycle
         progressed = False
-        if self.rqf and self.scheduler.has_free_context:
+        sched = self.scheduler
+        if self.rqf and len(sched.window) < sched._max_contexts:
             head = self.rqf[0]
             if head.ready_cycle <= cycle:
                 self.rqf.popleft()
-                self.scheduler.inject(head, cycle)
+                sched.inject(head, cycle)
                 progressed = True
-        sched = self.scheduler
-        row_ops = sched.activates + sched.precharges
         issued = sched.tick(cycle)
         if issued is not None:
+            self.acted = True
             if issued.is_write:
                 self.write_staging.commit(issued.txn_id, issued.data_cycle)
             else:
                 self.read_staging.collect(
                     issued.txn_id, issued.index, issued.value or 0, issued.data_cycle
                 )
-        elif (
-            self.time_skip
-            and not progressed
-            and sched.activates + sched.precharges == row_ops
-        ):
-            # An unproductive cycle: cache how long time alone keeps it
-            # so (next_event_cycle stores the bound in _skip_until),
-            # letting the front end skip the next ticks outright.
-            self.next_event_cycle(cycle)
+        elif sched.acted or progressed:
+            self.acted = True
+        else:
+            self.acted = False
+            if self.time_skip or self.fast_gating:
+                # An unproductive cycle: cache how long time alone keeps
+                # it so (next_event_cycle stores the bound in
+                # _skip_until), letting the front end skip the next
+                # ticks outright.
+                self.next_event_cycle(cycle)
         return issued
 
     # ----------------------------------------------------------------- #

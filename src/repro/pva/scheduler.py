@@ -22,6 +22,13 @@ The scheduling heuristics implemented here are the paper's:
   the more-hit / close predict lines and a one-bit-per-internal-bank
   autoprecharge predictor that is trained on row continuity between
   consecutive vector requests.
+
+Every predict line needs the (internal bank, row) coordinates of each
+context's current address.  Contexts running on a precomputed hit
+schedule (:mod:`repro.pva.schedule`) expose them as plain ints
+(``vc.cur_ib``/``vc.cur_row``); incremental contexts fall back to
+``device.locate``.  Both paths see identical values, so every decision
+below is independent of the expansion mode.
 """
 
 from __future__ import annotations
@@ -60,6 +67,23 @@ class AccessScheduler:
     """One bank controller's SCHED module: a window of vector contexts
     plus the policy logic that drives the memory device."""
 
+    __slots__ = (
+        "params",
+        "device",
+        "bank",
+        "window",
+        "policy",
+        "_last_row_seen",
+        "_activated_since_column",
+        "activates",
+        "precharges",
+        "columns",
+        "idle_cycles",
+        "acted",
+        "_max_contexts",
+        "_has_rows",
+    )
+
     def __init__(self, params: SystemParams, device, bank: int):
         self.params = params
         self.device = device
@@ -69,6 +93,12 @@ class AccessScheduler:
         self.policy = make_row_policy(params.row_policy, num_ib)
         self._last_row_seen: List[Optional[int]] = [None] * num_ib
         self._activated_since_column = [False] * num_ib
+        self._max_contexts = params.num_vector_contexts
+        self._has_rows = device.has_rows
+        #: Did the last tick() issue any device operation (row or column)?
+        #: The bank controller folds this into its own acted flag so the
+        #: simulation kernel's dispatch gate sees row operations too.
+        self.acted = False
         # Statistics
         self.activates = 0
         self.precharges = 0
@@ -81,7 +111,7 @@ class AccessScheduler:
 
     @property
     def has_free_context(self) -> bool:
-        return len(self.window) < self.params.num_vector_contexts
+        return len(self.window) < self._max_contexts
 
     @property
     def is_idle(self) -> bool:
@@ -102,10 +132,16 @@ class AccessScheduler:
         if open_row is None:
             return False
         for vc in self.window:
-            if vc is exclude or vc.done:
+            if vc is exclude or vc.remaining == 0:
                 continue
-            loc = self.device.locate(vc.local_addr)
-            if loc.internal_bank == internal_bank and loc.row == open_row:
+            ib = vc.cur_ib
+            if ib is None:
+                loc = self.device.locate(vc.local_addr)
+                ib = loc.internal_bank
+                row = loc.row
+            else:
+                row = vc.cur_row
+            if ib == internal_bank and row == open_row:
                 return True
         return False
 
@@ -115,16 +151,29 @@ class AccessScheduler:
         """``bank_morehit_predict``: will some context access (ib, row)
         after the operation now issuing?  Considers every other context's
         current address and the issuing context's own next address."""
-        next_addr = exclude.next_local_addr
-        if next_addr is not None:
-            loc = self.device.locate(next_addr)
-            if loc.internal_bank == internal_bank and loc.row == row:
+        if exclude.cur_ib is not None:
+            # (internal_bank, row) is always the excluded context's own
+            # current coordinates here, so its next-address term is the
+            # precomputed row-transition marker.
+            if exclude.remaining > 1 and exclude.next_hits_same_row:
                 return True
+        else:
+            next_addr = exclude.next_local_addr
+            if next_addr is not None:
+                loc = self.device.locate(next_addr)
+                if loc.internal_bank == internal_bank and loc.row == row:
+                    return True
         for vc in self.window:
-            if vc is exclude or vc.done:
+            if vc is exclude or vc.remaining == 0:
                 continue
-            loc = self.device.locate(vc.local_addr)
-            if loc.internal_bank == internal_bank and loc.row == row:
+            ib = vc.cur_ib
+            if ib is None:
+                loc = self.device.locate(vc.local_addr)
+                ib = loc.internal_bank
+                vc_row = loc.row
+            else:
+                vc_row = vc.cur_row
+            if ib == internal_bank and vc_row == row:
                 return True
         return False
 
@@ -132,10 +181,16 @@ class AccessScheduler:
         """``bank_close_predict``: does some context need a *different*
         row in this internal bank?"""
         for vc in self.window:
-            if vc.done:
+            if vc.remaining == 0:
                 continue
-            loc = self.device.locate(vc.local_addr)
-            if loc.internal_bank == internal_bank and loc.row != row:
+            ib = vc.cur_ib
+            if ib is None:
+                loc = self.device.locate(vc.local_addr)
+                ib = loc.internal_bank
+                vc_row = loc.row
+            else:
+                vc_row = vc.cur_row
+            if ib == internal_bank and vc_row != row:
                 return True
         return False
 
@@ -147,12 +202,17 @@ class AccessScheduler:
         """Issue at most one SDRAM operation; return column details (for
         data routing) or ``None`` for activates/precharges/idle cycles."""
         if not self.window:
+            self.acted = False
             return None
-        if self.device.has_rows and self._try_row_operation(cycle):
+        if self._has_rows and self._try_row_operation(cycle):
+            self.acted = True
             return None
         issued = self._try_column(cycle)
         if issued is None:
+            self.acted = False
             self.idle_cycles += 1
+        else:
+            self.acted = True
         return issued
 
     def next_event_cycle(self, cycle: int) -> int:
@@ -184,122 +244,177 @@ class AccessScheduler:
         device = self.device
         bound = HORIZON
         if device.has_rows:
+            banks = device.banks
             for position, vc in enumerate(self.window):
-                if vc.done:
+                if vc.remaining == 0:
                     continue
-                addr = vc.local_addr
-                if device.row_is_open_for(addr):
+                ib = vc.cur_ib
+                if ib is None:
+                    loc = device.locate(vc.local_addr)
+                    ib = loc.internal_bank
+                    row = loc.row
+                else:
+                    row = vc.cur_row
+                open_row = banks[ib].open_row
+                if open_row == row:
                     continue
-                loc = device.locate(addr)
-                if device.conflicting_row_open(addr):
+                if open_row is not None:
                     if position != 0 and self._vc_hits_open_row(
-                        loc.internal_bank, exclude=vc
+                        ib, exclude=vc
                     ):
                         continue
-                    ready = device.banks[loc.internal_bank].precharge_ready_at
+                    ready = banks[ib].precharge_ready_at
                 else:
-                    ready = device.banks[loc.internal_bank].activate_ready_at
+                    ready = banks[ib].activate_ready_at
                 if ready < bound:
                     bound = ready
-        last_was_write = device.last_was_write
-        position = 0
-        for vc in self.window:
-            if vc.done:
-                continue
-            matches = last_was_write is None or vc.is_write == last_was_write
-            if not matches and position != 0:
-                break
-            ready = device.column_ready_at(vc.local_addr, vc.is_write)
-            if ready < bound:
-                bound = ready
-            if not matches:
-                break
-            position += 1
+            last_was_write = device.last_was_write
+            position = 0
+            for vc in self.window:
+                if vc.remaining == 0:
+                    continue
+                matches = last_was_write is None or vc.is_write == last_was_write
+                if not matches and position != 0:
+                    break
+                ib = vc.cur_ib
+                if ib is None:
+                    ready = device.column_ready_at(vc.local_addr, vc.is_write)
+                else:
+                    ready = device.column_ready_at_coords(
+                        ib, vc.cur_row, vc.is_write
+                    )
+                if ready < bound:
+                    bound = ready
+                if not matches:
+                    break
+                position += 1
+        else:
+            last_was_write = device.last_was_write
+            position = 0
+            for vc in self.window:
+                if vc.remaining == 0:
+                    continue
+                matches = last_was_write is None or vc.is_write == last_was_write
+                if not matches and position != 0:
+                    break
+                ready = device.column_ready_at(vc.local_addr, vc.is_write)
+                if ready < bound:
+                    bound = ready
+                if not matches:
+                    break
+                position += 1
         return bound if bound > cycle else cycle
 
     def _try_row_operation(self, cycle: int) -> bool:
         """Promoted activates/precharges, oldest context first."""
+        device = self.device
+        banks = device.banks
         for position, vc in enumerate(self.window):
-            if vc.done:
+            if vc.remaining == 0:
                 continue
-            addr = vc.local_addr
-            if self.device.row_is_open_for(addr):
+            ib = vc.cur_ib
+            if ib is None:
+                loc = device.locate(vc.local_addr)
+                ib = loc.internal_bank
+                row = loc.row
+            else:
+                row = vc.cur_row
+            bank = banks[ib]
+            open_row = bank.open_row
+            if open_row == row:
                 continue
-            loc = self.device.locate(addr)
-            if self.device.conflicting_row_open(addr):
-                blocked = self._vc_hits_open_row(loc.internal_bank, exclude=vc)
+            if open_row is not None:
+                blocked = self._vc_hits_open_row(ib, exclude=vc)
                 # The oldest context may close the row over younger
                 # objections (daisy-chain priority / forward progress).
                 if blocked and position != 0:
                     continue
-                if self.device.can_precharge(loc.internal_bank, cycle):
-                    self.device.precharge(loc.internal_bank, cycle)
+                if bank.can_precharge(cycle):
+                    device.precharge(ib, cycle)
                     self.precharges += 1
                     return True
             else:
-                if self.device.can_activate(addr, cycle):
-                    self._note_first_operation(vc, loc.internal_bank)
-                    self.device.activate(addr, cycle)
-                    self._last_row_seen[loc.internal_bank] = loc.row
-                    self._activated_since_column[loc.internal_bank] = True
+                if bank.can_activate(cycle):
+                    if not vc.issued_any:
+                        self._note_first_operation(vc, ib)
+                    if vc.cur_ib is None:
+                        device.activate(vc.local_addr, cycle)
+                    else:
+                        device.activate_at(ib, row, cycle)
+                    self._last_row_seen[ib] = row
+                    self._activated_since_column[ib] = True
                     self.activates += 1
                     return True
         return False
 
     def _try_column(self, cycle: int) -> Optional[IssuedColumn]:
         """Column issue under the polarity (data-hazard) rule."""
-        pending = [vc for vc in self.window if not vc.done]
-        if not pending:
-            return None
-        last_was_write = self.device.last_was_write
-        for position, vc in enumerate(pending):
+        device = self.device
+        last_was_write = device.last_was_write
+        position = 0
+        for vc in self.window:
+            if vc.remaining == 0:
+                continue
             matches = last_was_write is None or vc.is_write == last_was_write
             if not matches and position != 0:
                 # A polarity reversal is pending in an older context;
                 # younger contexts may not overtake it.
                 break
-            if self.device.can_column(vc.local_addr, cycle, vc.is_write):
+            ib = vc.cur_ib
+            if ib is None:
+                can = device.can_column(vc.local_addr, cycle, vc.is_write)
+            else:
+                can = device.can_column_at(ib, vc.cur_row, cycle, vc.is_write)
+            if can:
                 return self._issue_column(vc, cycle)
             if not matches:
                 # The oldest context needs a reversal but cannot issue
                 # yet (turnaround/row not ready); nothing younger may go.
                 break
+            position += 1
         return None
 
     def _issue_column(self, vc: VectorContext, cycle: int) -> IssuedColumn:
-        loc = self.device.locate(vc.local_addr)
-        self._note_first_operation(vc, loc.internal_bank)
+        ib = vc.cur_ib
+        if ib is None:
+            loc = self.device.locate(vc.local_addr)
+            ib = loc.internal_bank
+            row = loc.row
+        else:
+            row = vc.cur_row
+        if not vc.issued_any:
+            self._note_first_operation(vc, ib)
         auto_precharge = (
-            self._decide_auto_precharge(vc, loc.internal_bank, loc.row)
-            if self.device.has_rows
+            self._decide_auto_precharge(vc, ib, row)
+            if self._has_rows
             else False
         )
-        value = vc.write_value() if vc.is_write else None
-        data_cycle, read_value = self.device.column(
+        is_write = vc.is_write
+        value = vc.write_value() if is_write else None
+        data_cycle, read_value = self.device.column_at(
             vc.local_addr,
+            ib,
+            row,
             cycle,
-            is_write=vc.is_write,
+            is_write,
             auto_precharge=auto_precharge,
             value=value,
         )
         index = vc.index
         txn_id = vc.req.txn_id
-        is_write = vc.is_write
         vc.advance()
-        completed = vc.done
+        completed = vc.remaining == 0
         if completed:
             self.window.remove(vc)
         self.columns += 1
         return IssuedColumn(
-            txn_id=txn_id,
-            is_write=is_write,
-            index=index,
-            data_cycle=data_cycle
-            if not is_write
-            else cycle + self.params.sdram.t_wr,
-            value=read_value,
-            auto_precharge=auto_precharge,
-            completed_request=completed,
+            txn_id,
+            is_write,
+            index,
+            data_cycle if not is_write else cycle + self.params.sdram.t_wr,
+            read_value,
+            auto_precharge,
+            completed,
         )
 
     # ----------------------------------------------------------------- #
@@ -312,10 +427,15 @@ class AccessScheduler:
         continues the row last used in its internal bank."""
         if vc.issued_any:
             return
-        first_loc = self.device.locate(vc.req.local_first)
-        row_continues = (
-            self._last_row_seen[first_loc.internal_bank] == first_loc.row
-        )
+        sched = vc.req.schedule
+        if sched is not None:
+            first_ib = sched.ibanks[0]
+            first_row = sched.rows[0]
+        else:
+            first_loc = self.device.locate(vc.req.local_first)
+            first_ib = first_loc.internal_bank
+            first_row = first_loc.row
+        row_continues = self._last_row_seen[first_ib] == first_row
         self.policy.note_first_operation(internal_bank, row_continues)
         vc.issued_any = True
 
@@ -328,7 +448,11 @@ class AccessScheduler:
         self.policy.observe_access(internal_bank, row_hit)
         more_hits = self._more_hits_predicted(internal_bank, row, exclude=vc)
         last_of_request = vc.remaining == 1
-        if not last_of_request:
+        if not last_of_request and not more_hits and vc.cur_ib is None:
+            # Incremental path only: decode the issuing context's next
+            # address for the self-term.  (Schedule-cursor contexts had
+            # their precomputed row-transition marker folded in by
+            # _more_hits_predicted already.)
             next_addr = vc.next_local_addr
             if next_addr is not None:
                 loc = self.device.locate(next_addr)

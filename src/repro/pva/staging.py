@@ -19,7 +19,7 @@ from repro.errors import CapacityError, ProtocolError
 __all__ = ["ReadStagingUnit", "WriteStagingUnit"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _ReadSlot:
     expected: int
     received: List[Tuple[int, int]] = field(default_factory=list)
@@ -28,6 +28,8 @@ class _ReadSlot:
 
 class ReadStagingUnit:
     """Per-bank-controller buffer for gathered read data."""
+
+    __slots__ = ("capacity", "_slots")
 
     def __init__(self, capacity: int):
         self.capacity = capacity
@@ -89,7 +91,7 @@ class ReadStagingUnit:
         return len(self._slots)
 
 
-@dataclass
+@dataclass(slots=True)
 class _WriteSlot:
     expected: int
     committed: int = 0
@@ -98,6 +100,8 @@ class _WriteSlot:
 
 class WriteStagingUnit:
     """Per-bank-controller buffer tracking scattered-write commitment."""
+
+    __slots__ = ("capacity", "_slots")
 
     def __init__(self, capacity: int):
         self.capacity = capacity

@@ -271,24 +271,35 @@ class _BankComponent:
         self.front = front
         self.time_skip = time_skip
         self.name = f"bank-{bank.bank}"
+        #: Both gate inputs are constant for the run; fold them once.
+        self._gated = time_skip or bank.fast_gating
+        #: Whether idle_at's refresh probe can ever fire (the None-ness
+        #: of next_refresh_cycle never changes mid-run).
+        self._no_refresh = (
+            not bank.device.has_rows
+            or bank.device.next_refresh_cycle is None
+        )
 
     def tick(self, cycle: int) -> bool:
         bank = self.bank
-        if self.time_skip and bank.quiet_at(cycle):
-            return False
-        sched = bank.scheduler
-        rqf_len = len(bank.rqf)
-        row_ops = sched.activates + sched.precharges
-        refreshes = getattr(bank.device, "refreshes", 0)
+        if self._gated:
+            # Inlined bank.quiet_at(cycle) — this is the hottest probe
+            # in the simulator.
+            if cycle < bank._skip_until:
+                return False
+            if not bank.rqf and not bank.scheduler.window:
+                if self._no_refresh:
+                    return False
+                refresh = bank.device.next_refresh_cycle
+                if refresh is None or refresh > cycle:
+                    return False
         issued = bank.tick(cycle)
         if issued is not None:
             self.front.note_issue(bank.bank, issued)
             return True
-        return (
-            len(bank.rqf) != rqf_len
-            or sched.activates + sched.precharges != row_ops
-            or getattr(bank.device, "refreshes", 0) != refreshes
-        )
+        # The controller records whether the tick changed any state
+        # (refresh, dequeue, row operation) — no counter diffing needed.
+        return bank.acted
 
     def next_event_cycle(self, cycle: int) -> int:
         return self.bank.next_event_cycle(cycle)
@@ -314,6 +325,17 @@ class _CompletionUnit:
 
     def tick(self, cycle: int) -> bool:
         front = self.front
+        # Allocation-free fast path for the common nothing-completes
+        # cycle; the mutating pass below snapshots the dict first.
+        for txn in front.outstanding.values():
+            if (
+                txn.done >= txn.expected
+                and cycle >= txn.last_data_cycle
+                and (txn.is_write or not txn.staged)
+            ):
+                break
+        else:
+            return False
         acted = False
         for txn in list(front.outstanding.values()):
             if txn.done < txn.expected or cycle < txn.last_data_cycle:

@@ -20,6 +20,18 @@ __all__ = ["InternalBank"]
 class InternalBank:
     """One internal bank: a row buffer plus its timing scoreboard."""
 
+    __slots__ = (
+        "index",
+        "timing",
+        "open_row",
+        "_activate_timer",
+        "_column_timer",
+        "_precharge_timer",
+        "activates",
+        "precharges",
+        "auto_precharges",
+    )
+
     def __init__(self, index: int, timing: SDRAMTiming):
         self.index = index
         self.timing = timing

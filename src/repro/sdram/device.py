@@ -45,6 +45,26 @@ class Location:
 class SDRAMDevice:
     """A 32-bit-wide SDRAM bank module with ``internal_banks`` row buffers."""
 
+    __slots__ = (
+        "timing",
+        "bus_turnaround",
+        "banks",
+        "_ib_mask",
+        "_ib_bits",
+        "_row_mask",
+        "_row_bits",
+        "_loc_cache",
+        "_last_column_cycle",
+        "_last_was_write",
+        "_storage",
+        "reads",
+        "writes",
+        "turnarounds",
+        "log",
+        "_next_refresh",
+        "refreshes",
+    )
+
     #: Marks this device as having row state (the scheduler checks this
     #: instead of isinstance tests; the SRAM model sets it False).
     has_rows = True
@@ -92,6 +112,14 @@ class SDRAMDevice:
         before any transfer) — input to the scheduler's polarity rule."""
         return self._last_was_write
 
+    @property
+    def schedule_geometry(self):
+        """Hashable descriptor of :meth:`locate`'s mapping, used as part
+        of the broadcast-time hit-schedule memo key
+        (:mod:`repro.pva.schedule`).  ``("rot", row_bits, ib_bits)``:
+        consecutive rows rotate internal banks."""
+        return ("rot", self._row_bits, self._ib_bits)
+
     def locate(self, local_word: int) -> Location:
         """Map a local word index to (internal bank, row, column).
 
@@ -128,6 +156,15 @@ class SDRAMDevice:
         loc = self.locate(local_word)
         return self.banks[loc.internal_bank].can_column(
             cycle, loc.row
+        ) and self.data_pins_ready(cycle, is_write)
+
+    def can_column_at(
+        self, internal_bank: int, row: int, cycle: int, is_write: bool
+    ) -> bool:
+        """:meth:`can_column` with the coordinates already decoded (the
+        precomputed-schedule fast path)."""
+        return self.banks[internal_bank].can_column(
+            cycle, row
         ) and self.data_pins_ready(cycle, is_write)
 
     def can_activate(self, local_word: int, cycle: int) -> bool:
@@ -170,8 +207,15 @@ class SDRAMDevice:
         when the word's row is not open — opening it takes an activate,
         which is itself an observable event."""
         loc = self.locate(local_word)
-        bank = self.banks[loc.internal_bank]
-        if bank.open_row != loc.row:
+        return self.column_ready_at_coords(loc.internal_bank, loc.row, is_write)
+
+    def column_ready_at_coords(
+        self, internal_bank: int, row: int, is_write: bool
+    ) -> int:
+        """:meth:`column_ready_at` with the coordinates already decoded
+        (the precomputed-schedule fast path)."""
+        bank = self.banks[internal_bank]
+        if bank.open_row != row:
             return HORIZON
         ready = bank.column_ready_at
         pins = self.pins_ready_at(is_write)
@@ -212,14 +256,19 @@ class SDRAMDevice:
 
     def activate(self, local_word: int, cycle: int) -> None:
         loc = self.locate(local_word)
-        self.banks[loc.internal_bank].activate(loc.row, cycle)
+        self.activate_at(loc.internal_bank, loc.row, cycle)
+
+    def activate_at(self, internal_bank: int, row: int, cycle: int) -> None:
+        """:meth:`activate` with the coordinates already decoded (the
+        precomputed-schedule fast path)."""
+        self.banks[internal_bank].activate(row, cycle)
         if self.log is not None:
             self.log.record(
                 CommandEvent(
                     cycle=cycle,
                     command=SDRAMCommand.ACTIVATE,
-                    internal_bank=loc.internal_bank,
-                    row=loc.row,
+                    internal_bank=internal_bank,
+                    row=row,
                 )
             )
 
@@ -248,13 +297,36 @@ class SDRAMDevice:
         datum appears on the pins (``cycle + cas_latency``) and the stored
         value; for writes, the cycle the datum is consumed and ``None``.
         """
+        loc = self.locate(local_word)
+        return self.column_at(
+            local_word,
+            loc.internal_bank,
+            loc.row,
+            cycle,
+            is_write,
+            auto_precharge=auto_precharge,
+            value=value,
+        )
+
+    def column_at(
+        self,
+        local_word: int,
+        internal_bank: int,
+        row: int,
+        cycle: int,
+        is_write: bool,
+        auto_precharge: bool = False,
+        value: Optional[int] = None,
+    ) -> Tuple[int, Optional[int]]:
+        """:meth:`column` with the coordinates already decoded (the
+        precomputed-schedule fast path); ``local_word`` still keys the
+        functional storage array."""
         if not self.data_pins_ready(cycle, is_write):
             raise SchedulingError(
                 f"data pins busy at cycle {cycle} "
                 f"(last column at {self._last_column_cycle})"
             )
-        loc = self.locate(local_word)
-        self.banks[loc.internal_bank].column(cycle, is_write, auto_precharge)
+        self.banks[internal_bank].column(cycle, is_write, auto_precharge)
         if (
             self._last_was_write is not None
             and self._last_was_write != is_write
@@ -279,9 +351,9 @@ class SDRAMDevice:
                 CommandEvent(
                     cycle=cycle,
                     command=command,
-                    internal_bank=loc.internal_bank,
-                    row=loc.row,
-                    column=loc.column,
+                    internal_bank=internal_bank,
+                    row=row,
+                    column=local_word & self._row_mask,
                 )
             )
         if is_write:

@@ -177,22 +177,47 @@ class SimKernel:
         watchdog = self.watchdog
         time_skip = self.time_skip
         cycle = self.cycle
-        acted_flags = [False] * len(components)
+        # Hot-loop locals: bound methods and ledger entries resolved once,
+        # indexed by registration position.
+        n = len(components)
+        positions = range(n)
+        ticks = [component.tick for component in components]
+        bounds = [component.next_event_cycle for component in components]
+        accounts = [component.account for component in components]
+        entries = [ledger[component.name] for component in components]
+        acted_flags = [False] * n
+        # Dispatch gating: after a no-act iteration every component's
+        # lower bound is cached; on later cycles a component whose cached
+        # bound is still ahead is not re-polled at all.  A cached bound
+        # is only trusted while *nothing* has acted since it was computed
+        # (the events.py contract: "assuming no other component acts") —
+        # any action, even by an earlier component in the same cycle,
+        # voids the cache, so gated components are exactly those the old
+        # loop would have ticked to no effect.  Works in both run-loop
+        # modes; in skip mode the same cache also feeds the jump target.
+        cached = [0] * n
+        cache_valid = False
         while not done():
             watchdog.check(cycle)
             acted_any = False
-            for position, component in enumerate(components):
-                acted = component.tick(cycle)
-                acted_flags[position] = acted
+            for i in positions:
+                if cache_valid and not acted_any and cached[i] > cycle:
+                    acted_flags[i] = False
+                    continue
+                acted = ticks[i](cycle)
+                acted_flags[i] = acted
                 if acted:
                     acted_any = True
             # -- attribute this (visited) cycle ----------------------
-            for position, component in enumerate(components):
-                entry = ledger[component.name]
-                if acted_flags[position]:
-                    entry.busy += 1
+            # Skipped-dispatch components take the non-acted branch: the
+            # account() split is what the old always-tick loop recorded
+            # for them, so the ledger is invariant under gating.
+            for i in positions:
+                if acted_flags[i]:
+                    entries[i].busy += 1
                 else:
-                    busy, stalled, idle = component.account(cycle, cycle + 1)
+                    busy, stalled, idle = accounts[i](cycle, cycle + 1)
+                    entry = entries[i]
                     entry.busy += busy
                     entry.stalled += stalled
                     entry.idle += idle
@@ -200,32 +225,33 @@ class SimKernel:
             # Reference loop: one cycle at a time.  Fast path: after an
             # iteration in which nothing acted, jump to the earliest
             # cycle at which anything *could* happen — the min over
-            # every component's lower bound, capped at the watchdog's
+            # every component's lower bound, clamped to the watchdog's
             # deadline so a deadlocked run still times out.  A bound at
             # or below the current cycle degrades to a plain tick.
-            if time_skip and not acted_any:
-                target = HORIZON
-                for component in components:
-                    bound = component.next_event_cycle(cycle)
-                    if bound < target:
-                        target = bound
-                limit = watchdog.cycle_limit + 1
-                if target > limit:
-                    target = limit
+            if acted_any:
+                cache_valid = False
+                cycle += 1
+                continue
+            target = HORIZON
+            for i in positions:
+                if not cache_valid or cached[i] <= cycle:
+                    cached[i] = bounds[i](cycle)
+                bound = cached[i]
+                if bound < target:
+                    target = bound
+            cache_valid = True
+            if time_skip:
+                target = watchdog.clamp_skip(target)
                 if target > cycle + 1:
-                    for component in components:
-                        busy, stalled, idle = component.account(
-                            cycle + 1, target
-                        )
-                        entry = ledger[component.name]
+                    for i in positions:
+                        busy, stalled, idle = accounts[i](cycle + 1, target)
+                        entry = entries[i]
                         entry.busy += busy
                         entry.stalled += stalled
                         entry.idle += idle
                     cycle = target
-                else:
-                    cycle += 1
-            else:
-                cycle += 1
+                    continue
+            cycle += 1
         self.cycle = cycle
         return cycle
 

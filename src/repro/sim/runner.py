@@ -131,6 +131,19 @@ class Watchdog:
         self._checks = 0
         self._next_wall_probe_cycle = 0
 
+    def clamp_skip(self, target: int) -> int:
+        """Cap a time-skip jump target at the first cycle :meth:`check`
+        rejects (``cycle_limit + 1``).
+
+        The single authority on how skip advances interact with the
+        cycle budget: jumping exactly to ``cycle_limit + 1`` lets the
+        next :meth:`check` raise, while jumping past it would skip over
+        the deadline and to ``cycle_limit`` or below would stall the
+        timeout by a lap of plain ticks.
+        """
+        limit = self.cycle_limit + 1
+        return limit if target > limit else target
+
     def check(self, cycle: int) -> None:
         """Raise :class:`SimulationTimeout` if a budget is exhausted."""
         if cycle > self.cycle_limit:

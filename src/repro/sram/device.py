@@ -24,6 +24,19 @@ __all__ = ["SRAMDevice"]
 class SRAMDevice:
     """A uniform-access memory bank with SDRAM-compatible scoreboarding."""
 
+    __slots__ = (
+        "timing",
+        "bus_turnaround",
+        "_last_column_cycle",
+        "_last_was_write",
+        "_storage",
+        "reads",
+        "writes",
+        "turnarounds",
+        "log",
+        "_loc_cache",
+    )
+
     has_rows = False
 
     def __init__(self, timing: Optional[SRAMTiming] = None, bus_turnaround: int = 1):
@@ -44,6 +57,12 @@ class SRAMDevice:
     def last_was_write(self) -> Optional[bool]:
         """Direction of the most recent data transfer on the pins."""
         return self._last_was_write
+
+    @property
+    def schedule_geometry(self):
+        """Hit-schedule geometry descriptor (see
+        :mod:`repro.pva.schedule`): one flat always-open row."""
+        return ("flat",)
 
     # --- geometry: a single flat "row" ------------------------------- #
 
@@ -67,6 +86,12 @@ class SRAMDevice:
         return True
 
     def can_column(self, local_word: int, cycle: int, is_write: bool) -> bool:
+        return self.data_pins_ready(cycle, is_write)
+
+    def can_column_at(
+        self, internal_bank: int, row: int, cycle: int, is_write: bool
+    ) -> bool:
+        """Coordinate fast path — the pins are the only constraint."""
         return self.data_pins_ready(cycle, is_write)
 
     def can_activate(self, local_word: int, cycle: int) -> bool:
@@ -93,6 +118,12 @@ class SRAMDevice:
     def column_ready_at(self, local_word: int, is_write: bool) -> int:
         """Earliest cycle an access to ``local_word`` could become legal
         by time alone (no rows: the pins are the only restriction)."""
+        return self.pins_ready_at(is_write)
+
+    def column_ready_at_coords(
+        self, internal_bank: int, row: int, is_write: bool
+    ) -> int:
+        """Coordinate fast path — identical to :meth:`column_ready_at`."""
         return self.pins_ready_at(is_write)
 
     def next_event_cycle(self, cycle: int) -> int:
@@ -146,6 +177,21 @@ class SRAMDevice:
         self.reads += 1
         return cycle + self.timing.access_cycles, self._storage.get(
             local_word, 0
+        )
+
+    def column_at(
+        self,
+        local_word: int,
+        internal_bank: int,
+        row: int,
+        cycle: int,
+        is_write: bool,
+        auto_precharge: bool = False,
+        value: Optional[int] = None,
+    ) -> Tuple[int, Optional[int]]:
+        """Coordinate fast path — the SRAM ignores the coordinates."""
+        return self.column(
+            local_word, cycle, is_write, auto_precharge=auto_precharge, value=value
         )
 
     # --- functional access & statistics -------------------------------- #

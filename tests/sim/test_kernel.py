@@ -90,10 +90,15 @@ class TestLoopEquivalence:
         ]
         assert skip_kernel.ledger == tick_kernel.ledger
 
-    def test_skip_visits_fewer_cycles(self):
-        _, tick_pulses, _ = _run(self.SCHEDULES, False)
+    def test_gating_spares_tick_calls_in_both_modes(self):
+        """Quiet components are not re-polled while their cached bound
+        holds: the tick loop's dispatch gating and the skip loop's jumps
+        both visit only the interesting cycles (far below the exit cycle,
+        42 here), and skipping never costs extra calls over ticking."""
+        _, tick_pulses, tick_exit = _run(self.SCHEDULES, False)
         _, skip_pulses, _ = _run(self.SCHEDULES, True)
-        assert skip_pulses[0].tick_calls < tick_pulses[0].tick_calls
+        assert skip_pulses[0].tick_calls <= tick_pulses[0].tick_calls
+        assert tick_pulses[0].tick_calls < tick_exit // 2
 
     def test_ledger_buckets_sum_to_exit_cycle(self):
         for time_skip in (False, True):
@@ -125,6 +130,47 @@ class TestWatchdog:
         kernel.register(Pulse("stuck", []))
         with pytest.raises(SimulationTimeout):
             kernel.run(lambda: False)
+
+    def test_budget_boundary_is_exact(self):
+        """Regression for the limit-vs-skip off-by-one: check() admits
+        the limit cycle itself and rejects the one after, and clamp_skip
+        — the one place skip targets meet the budget — caps at exactly
+        the first rejected cycle."""
+        dog = _watchdog(budget=64)
+        limit = dog.cycle_limit
+        dog.check(limit)  # the boundary cycle is still inside the budget
+        with pytest.raises(SimulationTimeout):
+            dog.check(limit + 1)
+        assert dog.clamp_skip(HORIZON) == limit + 1
+        assert dog.clamp_skip(limit + 2) == limit + 1
+        # Targets at or inside the budget pass through untouched —
+        # clamping them would stall legitimate jumps.
+        assert dog.clamp_skip(limit + 1) == limit + 1
+        assert dog.clamp_skip(limit) == limit
+
+    @pytest.mark.parametrize("time_skip", [False, True])
+    def test_deadlock_raises_at_first_cycle_past_limit(self, time_skip):
+        """Both loops must reach the budget boundary exactly: the raise
+        happens at cycle limit + 1, not earlier (budget shortened) nor
+        later (overshoot)."""
+
+        class Recording(Watchdog):
+            last_checked = -1
+
+            def check(self, cycle):
+                self.last_checked = cycle
+                super().check(cycle)
+
+        dog = Recording(
+            1,
+            system="test",
+            limits=SimulationLimits(max_cycles_per_command=64),
+        )
+        kernel = SimKernel(watchdog=dog, time_skip=time_skip)
+        kernel.register(Pulse("stuck", []))
+        with pytest.raises(SimulationTimeout):
+            kernel.run(lambda: False)
+        assert dog.last_checked == dog.cycle_limit + 1
 
 
 class TestFinalize:
