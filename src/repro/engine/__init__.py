@@ -48,7 +48,12 @@ from repro.engine.metrics import (
     PointOutcome,
     PrintProgress,
 )
-from repro.engine.resilience import BatchResult, PointFailure, RetryPolicy
+from repro.engine.resilience import (
+    BatchResult,
+    CircuitBreaker,
+    PointFailure,
+    RetryPolicy,
+)
 from repro.engine.spec import (
     CACHE_SCHEMA_VERSION,
     CommandTraceSpec,
@@ -65,6 +70,7 @@ __all__ = [
     "ExperimentEngine",
     "ResultCache",
     "BatchResult",
+    "CircuitBreaker",
     "PointFailure",
     "RetryPolicy",
     "EngineHooks",

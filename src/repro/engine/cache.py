@@ -9,8 +9,13 @@ fan-out keeps directories small on full-evaluation caches (hundreds of
 entries).
 
 Writes are atomic (temp file + ``os.replace``), so a cache directory
-shared by concurrent runs never serves a torn entry; corrupt or
-unreadable entries are treated as misses and removed.  Documents are
+shared by concurrent writers — pool workers, parallel engine runs, the
+service daemon and its chaos tests — never serves a torn entry and
+never interleaves two writers' bytes.  Corrupt or unreadable entries
+are treated as misses and **quarantined**: moved aside into
+``<root>/quarantine/`` (preserving the evidence for debugging) rather
+than deleted or re-served, so a vandalized entry costs one recompute
+and nothing else.  Documents are
 validated on both sides of the disk: :meth:`ResultCache.put` rejects
 records without a non-negative integer ``cycles``
 (:class:`~repro.errors.CacheIntegrityError`) and stamps each stored
@@ -56,15 +61,40 @@ def _valid_document(document) -> bool:
 class ResultCache:
     """A directory of content-addressed experiment results."""
 
+    #: Subdirectory corrupt entries are moved into by :meth:`get`.
+    QUARANTINE_DIR = "quarantine"
+
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.quarantined = 0  #: corrupt entries moved aside by get()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry aside instead of serving or
+        deleting it.  Best-effort: a concurrent reader may quarantine
+        the same entry first, and losing that race is fine — the entry
+        is gone from the lookup path either way."""
+        target_dir = self.root / self.QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / f"{path.name}.quarantined")
+        except OSError:
+            try:  # fall back to plain removal on exotic filesystems
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantined += 1
+
     def get(self, key: str) -> Optional[Dict]:
-        """The stored document for ``key``, or None on a miss."""
+        """The stored document for ``key``, or None on a miss.
+
+        Never raises on a bad entry: torn JSON, wrong-shape documents
+        and stale schema stamps are quarantined and reported as misses,
+        so one corrupt file costs one recompute — not a crashed batch.
+        """
         path = self._path(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
@@ -72,13 +102,10 @@ class ResultCache:
         except FileNotFoundError:
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            # A torn or corrupt entry: drop it and recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         if not _valid_document(document):
+            self._quarantine(path)
             return None
         if document.get("schema_version") != SCHEMA_VERSION:
             return None  # stale format: recompute, don't misread

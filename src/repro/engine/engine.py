@@ -61,6 +61,7 @@ from repro.engine.spec import (
     point_key,
 )
 from repro.errors import (
+    BatchAbortedError,
     ConfigurationError,
     IncompleteBatchError,
     PointFailedError,
@@ -114,8 +115,15 @@ def _pool_context():
 def _init_worker():
     """Pool workers ignore SIGINT: the parent owns interrupt handling
     (terminate + flush + clean re-raise), so ^C prints one traceback
-    instead of one per worker."""
+    instead of one per worker.
+
+    SIGTERM is reset to the default disposition: a forked worker
+    inherits whatever the parent installed — in the service daemon
+    that is asyncio's no-op self-pipe handler — and a worker that
+    shrugs off SIGTERM turns ``pool.terminate()`` into a deadlock
+    (the parent joins a worker that never exits)."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
 
 
 class _Task:
@@ -232,7 +240,10 @@ class ExperimentEngine:
     # ------------------------------------------------------------- #
 
     def run(
-        self, points: Sequence[ExperimentPoint]
+        self,
+        points: Sequence[ExperimentPoint],
+        *,
+        abort=None,
     ) -> Union[List[int], BatchResult]:
         """Execute a batch; return cycle counts in submission order.
 
@@ -240,6 +251,14 @@ class ExperimentEngine:
         ``List[int]``; with ``"collect"`` it is a :class:`BatchResult`
         whose sequence view has ``None`` at failed indices and whose
         ``failures`` lists one :class:`PointFailure` per failed point.
+
+        ``abort`` is an optional zero-argument callable polled between
+        point completions; once it returns True the engine stops
+        submitting work, terminates the pool, harvests any results that
+        already finished (caching them), and raises
+        :class:`~repro.errors.BatchAbortedError`.  This is the
+        cooperative cancellation path the service daemon uses for job
+        cancel/deadline — a resubmitted batch resumes from the cache.
         """
         points = list(points)
         metrics = self.metrics
@@ -297,7 +316,7 @@ class ExperimentEngine:
                 attribution,
                 failure,
                 error,
-            ) in self._execute(pending):
+            ) in self._execute(pending, abort):
                 if failure is None:
                     if self.cache is not None:
                         self.cache.put(
@@ -362,16 +381,25 @@ class ExperimentEngine:
         return results  # type: ignore[return-value]
 
     def _execute(
-        self, pending: List[Tuple[str, ExperimentPoint]]
+        self, pending: List[Tuple[str, ExperimentPoint]], abort=None
     ) -> Iterator[_Outcome]:
         """Stream one outcome per unique point, in completion order."""
         if not pending:
             return
         if self.jobs == 1 or len(pending) == 1:
             for key, point in pending:
+                if abort is not None and abort():
+                    self._raise_aborted()
                 yield self._run_inline(key, point)
             return
-        yield from self._execute_pool(pending)
+        yield from self._execute_pool(pending, abort)
+
+    def _raise_aborted(self):
+        self.metrics.aborted += 1
+        raise BatchAbortedError(
+            "batch aborted by its abort callback; completed points "
+            "are already in the result cache"
+        )
 
     # ------------------------------------------------------------- #
     # Inline execution (jobs=1 and the degraded fallback)
@@ -403,7 +431,7 @@ class ExperimentEngine:
     # ------------------------------------------------------------- #
 
     def _execute_pool(
-        self, pending: List[Tuple[str, ExperimentPoint]]
+        self, pending: List[Tuple[str, ExperimentPoint]], abort=None
     ) -> Iterator[_Outcome]:
         context = _pool_context()
         workers = min(self.jobs, len(pending))
@@ -416,6 +444,12 @@ class ExperimentEngine:
         incidents = 0  #: pool-level faults seen this batch
         try:
             while queue or live:
+                if abort is not None and abort():
+                    # Cooperative cancellation: keep what already
+                    # finished, drop the rest, and signal the caller.
+                    pool.terminate()
+                    yield from self._harvest_finished(live)
+                    self._raise_aborted()
                 if incidents >= self.degrade_after:
                     # The pool keeps misbehaving (stuck or dying
                     # workers); finish the batch inline where at least
@@ -513,23 +547,7 @@ class ExperimentEngine:
             # result so the cache keeps the completed work, and
             # re-raise a single clean interrupt.
             pool.terminate()
-            for task in live.values():
-                ready = task.async_result
-                if ready is None or not ready.ready():
-                    continue
-                try:
-                    cycles, seconds, attribution = ready.get(0)
-                except Exception:
-                    continue
-                yield (
-                    task.key,
-                    task.point,
-                    cycles,
-                    seconds,
-                    attribution,
-                    None,
-                    None,
-                )
+            yield from self._harvest_finished(live)
             raise
         finally:
             pool.terminate()
@@ -541,6 +559,28 @@ class ExperimentEngine:
             from repro.api import clear_caches
 
             clear_caches()
+
+    @staticmethod
+    def _harvest_finished(live: Dict[int, "_Task"]) -> Iterator[_Outcome]:
+        """Yield every live task whose result already landed, so an
+        interrupted or aborted batch keeps its completed work."""
+        for task in live.values():
+            ready = task.async_result
+            if ready is None or not ready.ready():
+                continue
+            try:
+                cycles, seconds, attribution = ready.get(0)
+            except Exception:
+                continue
+            yield (
+                task.key,
+                task.point,
+                cycles,
+                seconds,
+                attribution,
+                None,
+                None,
+            )
 
     def _fill_pool(
         self,

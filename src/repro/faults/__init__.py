@@ -36,6 +36,7 @@ from repro.faults.injectors import (
     CycleBurnerSystem,
     InjectedFault,
     RaisingSystem,
+    SlowSystem,
     TransientFaultSystem,
     WorkerKillerSystem,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "TransientFaultSystem",
     "CycleBurnerSystem",
     "WorkerKillerSystem",
+    "SlowSystem",
     "CacheCorruptor",
     "FAULT_SYSTEM_NAMES",
     "install_fault_systems",
@@ -59,6 +61,7 @@ FAULT_SYSTEM_NAMES: Dict[str, str] = {
     "burner": "fault-burner",
     "killer": "fault-killer",
     "killer-once": "fault-killer-once",
+    "slow": "fault-slow",
 }
 
 
@@ -103,6 +106,11 @@ def install_fault_systems(
         "killer",
         lambda p: WorkerKillerSystem(),
         "injector: kills the executing process on every run",
+    )
+    _register(
+        "slow",
+        lambda p: SlowSystem(build_system(base, p), seconds=1.0),
+        "injector: delays each run by one wall-clock second",
     )
     if state_dir is not None:
         state = Path(state_dir)

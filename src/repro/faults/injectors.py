@@ -14,6 +14,9 @@ around one) that misbehaves in exactly one, reproducible way:
   (:class:`~repro.errors.SimulationTimeout`);
 * :class:`WorkerKillerSystem` — hard-kills the executing process with
   ``os._exit``, simulating an OOM-killed or segfaulted pool worker;
+* :class:`SlowSystem` — wraps a healthy system behind a fixed
+  wall-clock delay, giving shutdown/drain tests a run that is
+  reliably *in flight* when a signal lands;
 * :class:`CacheCorruptor` — vandalizes a :class:`ResultCache` directory
   with torn, garbage, and stray entries.
 
@@ -39,6 +42,7 @@ __all__ = [
     "TransientFaultSystem",
     "CycleBurnerSystem",
     "WorkerKillerSystem",
+    "SlowSystem",
     "CacheCorruptor",
 ]
 
@@ -179,6 +183,39 @@ class WorkerKillerSystem:
             raise InjectedFault(
                 "worker-killer survived its kill but wraps no system"
             )
+        return self.inner.run(commands, capture_data=capture_data)
+
+
+class SlowSystem:
+    """Wrap a memory system behind a fixed host-side delay.
+
+    Simulation results are untouched — the wrapper just sleeps before
+    delegating, so a test can guarantee a point is mid-flight when a
+    drain, cancel, or signal arrives.  The sleep is interruptible at
+    1/10-second granularity to keep teardown snappy.
+    """
+
+    def __init__(self, inner, seconds: float = 1.0):
+        self.inner = inner
+        self.name = inner.name
+        self.seconds = float(seconds)
+
+    def poke(self, address: int, value: int) -> None:
+        self.inner.poke(address, value)
+
+    def peek(self, address: int) -> int:
+        return self.inner.peek(address)
+
+    def run(
+        self, commands: Sequence, capture_data: bool = False
+    ) -> RunResult:
+        import time
+
+        remaining = self.seconds
+        while remaining > 0:
+            step = min(0.1, remaining)
+            time.sleep(step)
+            remaining -= step
         return self.inner.run(commands, capture_data=capture_data)
 
 

@@ -1,0 +1,72 @@
+"""Simulation-as-a-service: a resilient long-running front end.
+
+The batch engine answers one invocation and exits; this package keeps
+it alive for concurrent clients and makes the *process* survivable the
+way PR 2 made the *batch* survivable:
+
+* :mod:`~repro.service.queue` — bounded admission (reject-with-429,
+  per-tenant quotas) so overload degrades to fast rejections, never to
+  unbounded buffering;
+* :mod:`~repro.service.journal` — a schema-versioned write-ahead JSONL
+  journal; a SIGKILLed daemon replays it on restart and resumes
+  incomplete jobs point-by-point against the content-addressed result
+  cache;
+* :mod:`~repro.service.supervisor` — jobs on warm
+  :class:`~repro.engine.ExperimentEngine` pools with per-job deadlines,
+  streamed progress, cooperative cancellation, and a circuit breaker
+  that trips to inline execution after repeated pool incidents;
+* :mod:`~repro.service.daemon` — the asyncio HTTP daemon
+  (``python -m repro serve``) with ``/healthz``/``/readyz``/``/metrics``
+  and graceful SIGTERM/SIGINT drain;
+* :mod:`~repro.service.client` — the stdlib-only client behind
+  ``python -m repro submit/status/cancel``;
+* :mod:`~repro.service.chaos` — the service's chaos-test tier
+  (``python -m repro service-chaos``): worker kills, watchdog hangs,
+  cache corruption, and a SIGKILL/restart of the daemon itself, with
+  the invariant that every submitted job reaches a terminal state.
+
+Quick start::
+
+    # terminal 1
+    python -m repro serve --port 8642 --state-dir .repro-service
+
+    # terminal 2
+    python -m repro submit grid --kernel copy --stride 1 --stride 19 --wait
+    python -m repro status
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceConfig, ServiceDaemon, serve
+from repro.service.jobs import (
+    Job,
+    JobSpec,
+    JobState,
+    TERMINAL_STATES,
+    spec_from_payload,
+    spec_points,
+)
+from repro.service.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JobJournal,
+    JournalReplay,
+)
+from repro.service.queue import AdmissionQueue
+from repro.service.supervisor import Supervisor
+
+__all__ = [
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "serve",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "TERMINAL_STATES",
+    "spec_from_payload",
+    "spec_points",
+    "JOURNAL_SCHEMA_VERSION",
+    "JobJournal",
+    "JournalReplay",
+    "AdmissionQueue",
+    "Supervisor",
+]

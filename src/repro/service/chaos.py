@@ -1,0 +1,301 @@
+"""Service chaos tier: ``python -m repro service-chaos``.
+
+``faults-smoke`` proves the *engine* contains faults inside one batch;
+this harness proves the *service* survives faults around the process
+itself.  It runs a real daemon in a subprocess and, while a grid batch
+is in flight:
+
+1. kills a pool worker mid-batch (``fault-killer-once`` injected into
+   the grid's system list);
+2. runs a watchdog-tripping cycle burner job (``fault-burner``);
+3. SIGKILLs the daemon itself — no drain, no journal close;
+4. corrupts result-cache entries (torn + garbage JSON) while the
+   daemon is down;
+5. restarts the daemon on the same state directory.
+
+Then it asserts the service's core invariants:
+
+* every submitted job reaches a terminal state (done/failed/cancelled)
+  — nothing is silently lost across the SIGKILL;
+* the resumed grid job reuses the points completed before the kill
+  (cache-hit counters strictly positive), i.e. no lost *or*
+  double-computed grid points;
+* the corrupted cache entries are quarantined, not served and not
+  fatal;
+* the burner job fails terminally via watchdog containment, and the
+  killed worker's job still completes (pool recovery + retry).
+
+Exit code 0 means every invariant held.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.engine import ResultCache
+from repro.errors import ServiceError
+from repro.faults.injectors import CacheCorruptor
+from repro.service.client import ServiceClient
+from repro.service.jobs import TERMINAL_STATES, JobState
+
+__all__ = ["run_service_chaos"]
+
+#: Strides of the chaos grid job — enough points that the daemon is
+#: reliably mid-batch when the SIGKILL lands.
+_GRID_STRIDES = (1, 2, 4, 8, 16, 19)
+
+
+def _spawn_daemon(
+    state_dir: Path,
+    port_file: Path,
+    faults_dir: Path,
+    *,
+    engine_jobs: int,
+    point_timeout: float,
+) -> subprocess.Popen:
+    if port_file.exists():
+        port_file.unlink()
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--host",
+        "127.0.0.1",
+        "--port",
+        "0",
+        "--port-file",
+        str(port_file),
+        "--state-dir",
+        str(state_dir),
+        "--jobs",
+        str(engine_jobs),
+        "--timeout",
+        str(point_timeout),
+        "--retries",
+        "2",
+        "--drain-seconds",
+        "10",
+        "--install-faults",
+        str(faults_dir),
+    ]
+    environment = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = (
+        f"{src_root}{os.pathsep}{existing}" if existing else src_root
+    )
+    return subprocess.Popen(
+        command,
+        env=environment,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _client_for(port_file: Path, timeout: float = 30.0) -> ServiceClient:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            port = int(port_file.read_text(encoding="utf-8").strip())
+        except (FileNotFoundError, ValueError):
+            time.sleep(0.05)
+            continue
+        client = ServiceClient(f"http://127.0.0.1:{port}")
+        try:
+            client.wait_ready(timeout=max(1.0, deadline - time.monotonic()))
+            return client
+        except ServiceError:
+            time.sleep(0.05)
+    raise ServiceError(f"daemon never became ready ({port_file})")
+
+
+def run_service_chaos(
+    *,
+    elements: int = 64,
+    engine_jobs: int = 2,
+    point_timeout: float = 5.0,
+    emit: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Run the chaos scenario; return a process exit code."""
+    emit = emit if emit is not None else lambda line: print(
+        line, file=sys.stderr, flush=True
+    )
+    checks: List[Tuple[str, bool]] = []
+
+    def check(label: str, passed: bool) -> None:
+        checks.append((label, passed))
+        emit(f"[service-chaos] {'ok  ' if passed else 'FAIL'} {label}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        root = Path(tmp)
+        state_dir = root / "state"
+        faults_dir = root / "faults"
+        faults_dir.mkdir()
+        port_file = root / "port"
+
+        daemon = _spawn_daemon(
+            state_dir,
+            port_file,
+            faults_dir,
+            engine_jobs=engine_jobs,
+            point_timeout=point_timeout,
+        )
+        submitted: List[str] = []
+        try:
+            client = _client_for(port_file)
+            emit(
+                "[service-chaos] daemon up; submitting grid + faulty "
+                "jobs ..."
+            )
+            # The long grid the SIGKILL will interrupt.  It includes a
+            # kill-once system, so a pool worker dies mid-batch too.
+            grid = client.submit(
+                "grid",
+                {
+                    "systems": ["pva-sdram", "fault-killer-once"],
+                    "kernels": ["copy", "scale"],
+                    "strides": list(_GRID_STRIDES),
+                    "elements": elements,
+                },
+            )
+            submitted.append(grid["id"])
+            # A watchdog-contained hang.
+            burner = client.submit(
+                "simulate",
+                {
+                    "system": "fault-burner",
+                    "kernel": "copy",
+                    "stride": 1,
+                    "elements": elements,
+                },
+            )
+            submitted.append(burner["id"])
+
+            # Wait until the grid is genuinely mid-batch (some points
+            # done, not all), then SIGKILL the daemon — no drain, no
+            # journal close, exactly like an OOM kill.
+            deadline = time.monotonic() + 120.0
+            progressed = False
+            while time.monotonic() < deadline:
+                job = client.status(grid["id"])
+                done = job["progress"]["points_done"]
+                if job["state"] in TERMINAL_STATES:
+                    break  # too fast — still a valid (weaker) run
+                if job["state"] == JobState.RUNNING and done >= 2:
+                    progressed = True
+                    break
+                time.sleep(0.05)
+            check("grid job progressed before the kill", progressed)
+
+            daemon.send_signal(signal.SIGKILL)
+            daemon.wait(timeout=30)
+            emit("[service-chaos] daemon SIGKILLed mid-batch")
+
+            # Vandalize the shared cache while the daemon is down.
+            cache = ResultCache(state_dir / "cache")
+            cached_before = len(cache)
+            corruptor = CacheCorruptor(cache)
+            victims = []
+            for entry in list(cache._entries())[:2]:
+                victims.append(entry.stem)
+            for key in victims:
+                corruptor.torn_entry(key)
+            corruptor.garbage_entry("ab" + "0" * 62)
+            corruptor.strays()
+            check(
+                "cache held completed points at kill time",
+                cached_before >= 1,
+            )
+
+            # Restart on the same state directory: the journal replays.
+            daemon = _spawn_daemon(
+                state_dir,
+                port_file,
+                faults_dir,
+                engine_jobs=engine_jobs,
+                point_timeout=point_timeout,
+            )
+            client = _client_for(port_file)
+            emit("[service-chaos] daemon restarted; waiting for terminal states ...")
+
+            known = {job["id"] for job in client.jobs()}
+            check(
+                "no job lost across SIGKILL/restart",
+                all(job_id in known for job_id in submitted),
+            )
+
+            finals = {}
+            for job_id in submitted:
+                finals[job_id] = client.wait(job_id, timeout=180.0)
+            check(
+                "every submitted job reached a terminal state",
+                all(
+                    job["state"] in TERMINAL_STATES
+                    for job in finals.values()
+                ),
+            )
+
+            grid_final = finals[grid["id"]]
+            check(
+                "resumed grid was replayed from the journal",
+                bool(grid_final["recovered"]),
+            )
+            check(
+                "resumed grid reused cached points (no recompute)",
+                grid_final["progress"]["cache_hits"] >= 1,
+            )
+            # Exactly one result slot per submitted point — the result
+            # list is index-keyed, so a lost point shows as a null hole
+            # and a double-report cannot fit the length.
+            expected_points = 2 * 2 * len(_GRID_STRIDES)
+            cycles = (grid_final.get("result") or {}).get("cycles", [])
+            healthy_cycles = [
+                value
+                for value in cycles
+                if isinstance(value, int) and value > 0
+            ]
+            check(
+                "no grid point lost or double-reported",
+                len(cycles) == expected_points
+                and len(healthy_cycles) >= expected_points // 2,
+            )
+            burner_final = finals[burner["id"]]
+            check(
+                "cycle burner contained terminally (watchdog)",
+                burner_final["state"] == JobState.FAILED
+                and "SimulationTimeout"
+                in str(burner_final.get("result") or burner_final.get("error")),
+            )
+            metrics = client.metrics()
+            check(
+                "corrupt cache entries quarantined, not served",
+                metrics["engine"]["cache_quarantined"] >= 1
+                or (state_dir / "cache" / "quarantine").exists(),
+            )
+            check(
+                "journal replay counted on the metrics surface",
+                metrics["engine"]["journal_replayed"] >= 1,
+            )
+        finally:
+            if daemon.poll() is None:
+                daemon.send_signal(signal.SIGTERM)
+                try:
+                    daemon.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    daemon.kill()
+                    daemon.wait(timeout=10)
+
+    failed = [label for label, passed in checks if not passed]
+    emit(
+        f"[service-chaos] {len(checks) - len(failed)}/{len(checks)} "
+        "chaos invariants held"
+    )
+    return 1 if failed else 0

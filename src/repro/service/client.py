@@ -1,0 +1,167 @@
+"""Thin blocking HTTP client for the service daemon.
+
+Backs ``python -m repro submit/status/cancel`` and the test/chaos
+harnesses.  Uses only :mod:`http.client`, maps the daemon's error
+statuses back onto the library's exception hierarchy (429 ->
+:class:`~repro.errors.QueueFullError`/:class:`~repro.errors.QuotaExceededError`,
+404 -> :class:`~repro.errors.JobNotFoundError`, 409 ->
+:class:`~repro.errors.JobStateError`), and keeps every call on a
+bounded socket timeout so a wedged daemon cannot hang a client.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional
+from urllib.parse import urlsplit
+
+from repro.errors import (
+    JobNotFoundError,
+    JobStateError,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceError,
+)
+from repro.service.jobs import TERMINAL_STATES
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to one daemon at ``url`` (default local port 8642)."""
+
+    def __init__(
+        self,
+        url: str = "http://127.0.0.1:8642",
+        timeout: float = 10.0,
+    ):
+        parts = urlsplit(url if "//" in url else f"//{url}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8642
+        self.timeout = timeout
+
+    # ------------------------------------------------------- transport
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+    ) -> Dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8")
+                if body is not None
+                else None
+            )
+            headers = {"Content-Type": "application/json"}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                document = json.loads(raw.decode("utf-8")) if raw else {}
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                document = {"error": raw[:200].decode("latin-1")}
+            return self._check(response.status, document)
+        except (ConnectionError, OSError) as error:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: "
+                f"{error}"
+            ) from error
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _check(status: int, document: Dict) -> Dict:
+        if status < 400:
+            return document
+        message = document.get("error", f"HTTP {status}")
+        if status == 429:
+            if document.get("kind") == "QuotaExceededError":
+                raise QuotaExceededError(message)
+            raise QueueFullError(message)
+        if status == 404:
+            raise JobNotFoundError(message)
+        if status == 409:
+            raise JobStateError(message)
+        raise ServiceError(f"service error (HTTP {status}): {message}")
+
+    # ------------------------------------------------------------- api
+
+    def submit(
+        self,
+        kind: str,
+        payload: Dict,
+        tenant: str = "default",
+        deadline_seconds: Optional[float] = None,
+    ) -> Dict:
+        """Submit one job; returns its description (with ``id``)."""
+        return self._request(
+            "POST",
+            "/jobs",
+            {
+                "kind": kind,
+                "payload": payload,
+                "tenant": tenant,
+                "deadline_seconds": deadline_seconds,
+            },
+        )["job"]
+
+    def status(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def jobs(self) -> List[Dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("DELETE", f"/jobs/{job_id}")["job"]
+
+    def health(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def ready(self) -> bool:
+        try:
+            return bool(self._request("GET", "/readyz").get("ready"))
+        except ServiceError:
+            return False
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/metrics")
+
+    # ------------------------------------------------------ conveniences
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_seconds: float = 0.1,
+    ) -> Dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after "
+                    f"{timeout}s"
+                )
+            time.sleep(poll_seconds)
+
+    def wait_ready(self, timeout: float = 10.0) -> None:
+        """Block until the daemon answers /readyz (startup races)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.ready():
+                return
+            time.sleep(0.05)
+        raise ServiceError(
+            f"service at {self.host}:{self.port} not ready after "
+            f"{timeout}s"
+        )

@@ -1,0 +1,357 @@
+"""The simulation-as-a-service daemon: ``python -m repro serve``.
+
+Wires the service stack together — admission queue, write-ahead
+journal, supervisor with warm engine pools, HTTP API — and owns the
+two lifecycle edges the rest of the package exists for:
+
+* **startup recovery**: replay the journal, re-register terminal jobs,
+  re-enqueue incomplete ones (they resume point-by-point against the
+  shared result cache), then compact the journal so it stays bounded;
+* **graceful shutdown** on SIGTERM/SIGINT: stop admitting
+  (``/readyz`` flips to 503, submissions get 503), drain running jobs
+  within the configured budget, requeue any stragglers at a point
+  boundary, compact + close the journal, and exit 0.  A SIGKILL skips
+  all of this — which is exactly what the journal is for.
+
+HTTP API (all JSON)::
+
+    POST   /jobs        submit {kind, payload, tenant?, deadline_seconds?}
+                        -> 201 {job} | 429 (queue full / quota) | 503
+    GET    /jobs        -> {jobs: [...]}
+    GET    /jobs/<id>   -> {job}       | 404
+    DELETE /jobs/<id>   -> {job}       | 404 | 409 (already terminal)
+    GET    /healthz     liveness: 200 once serving
+    GET    /readyz      readiness: 200 accepting | 503 draining/full
+    GET    /metrics     engine + service counters, queue/breaker state
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.engine import CircuitBreaker
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    JobNotFoundError,
+    JobStateError,
+    ReproError,
+)
+from repro.service.http import HttpServer, Request, Response
+from repro.service.jobs import spec_from_payload
+from repro.service.journal import JobJournal
+from repro.service.queue import AdmissionQueue
+from repro.service.supervisor import Supervisor
+
+__all__ = ["ServiceConfig", "ServiceDaemon", "serve"]
+
+#: How often the scheduler loop matches queued jobs to free runners.
+_DISPATCH_SECONDS = 0.05
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``python -m repro serve`` can set."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    #: Write the actually-bound port here once listening (lets tests
+    #: and the chaos harness use ``port=0`` without a race).
+    port_file: Optional[str] = None
+    state_dir: str = ".repro-service"
+    engine_jobs: int = 2
+    concurrency: int = 1
+    queue_depth: int = 64
+    tenant_quota: int = 8
+    point_timeout: Optional[float] = 60.0
+    retries: int = 1
+    drain_seconds: float = 30.0
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    #: Register the repro.faults injector systems inside the daemon
+    #: (chaos testing only); value is their marker-state directory.
+    install_faults: Optional[str] = None
+
+    @property
+    def cache_dir(self) -> Path:
+        return Path(self.state_dir) / "cache"
+
+    @property
+    def journal_path(self) -> Path:
+        return Path(self.state_dir) / "journal.jsonl"
+
+
+class ServiceDaemon:
+    """One service instance; drive with :meth:`run` (blocking) or the
+    async :meth:`start` / :meth:`shutdown` pair (tests, embedding)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        Path(self.config.state_dir).mkdir(parents=True, exist_ok=True)
+        self.journal = JobJournal(self.config.journal_path)
+        self.queue = AdmissionQueue(
+            max_depth=self.config.queue_depth,
+            tenant_quota=self.config.tenant_quota,
+        )
+        self.supervisor = Supervisor(
+            queue=self.queue,
+            journal=self.journal,
+            cache_dir=self.config.cache_dir,
+            engine_jobs=self.config.engine_jobs,
+            concurrency=self.config.concurrency,
+            point_timeout=self.config.point_timeout,
+            retries=self.config.retries,
+            breaker=CircuitBreaker(
+                threshold=self.config.breaker_threshold,
+                cooldown_seconds=self.config.breaker_cooldown,
+            ),
+        )
+        self.server = HttpServer(
+            self.handle, host=self.config.host, port=self.config.port
+        )
+        self.accepting = False
+        self.resumed_jobs = 0
+        self._dispatch_task: Optional[asyncio.Task] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+
+    # -------------------------------------------------------- lifecycle
+
+    def recover(self) -> int:
+        """Replay + compact the journal; returns resumed-job count."""
+        replay = JobJournal.replay(self.config.journal_path)
+        resumed = self.supervisor.recover(replay)
+        self.resumed_jobs = len(resumed)
+        self.supervisor.metrics.journal_replayed = self.resumed_jobs
+        # Compaction drops the historical chatter; the registry now
+        # holds everything live.
+        self.journal.compact(self.supervisor.registry.values())
+        return self.resumed_jobs
+
+    async def start(self) -> None:
+        if self.config.install_faults:
+            from repro.faults import install_fault_systems
+
+            install_fault_systems(state_dir=self.config.install_faults)
+        self.recover()
+        await self.server.start()
+        if self.config.port_file:
+            Path(self.config.port_file).write_text(
+                str(self.server.bound_port), encoding="utf-8"
+            )
+        self.accepting = True
+        self._dispatch_task = asyncio.ensure_future(self._dispatch_loop())
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            self.supervisor.dispatch()
+            await asyncio.sleep(_DISPATCH_SECONDS)
+
+    async def shutdown(self) -> dict:
+        """Graceful stop; always leaves a consistent journal."""
+        self.accepting = False
+        await self.server.stop()
+        if self._dispatch_task is not None:
+            self._dispatch_task.cancel()
+            try:
+                await self._dispatch_task
+            except asyncio.CancelledError:
+                pass
+            self._dispatch_task = None
+        summary = await asyncio.get_event_loop().run_in_executor(
+            None,
+            lambda: self.supervisor.drain(
+                timeout=self.config.drain_seconds
+            ),
+        )
+        try:
+            self.journal.compact(self.supervisor.registry.values())
+        except ReproError:
+            pass  # the uncompacted journal is still replayable
+        self.journal.close()
+        return summary
+
+    def request_stop(self) -> None:
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def run_async(self) -> dict:
+        """Serve until SIGTERM/SIGINT, then drain and return."""
+        self._shutdown_event = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_stop)
+            except (NotImplementedError, RuntimeError):
+                signal.signal(
+                    signum, lambda *_args: self.request_stop()
+                )
+        await self.start()
+        print(
+            f"[serve] listening on http://{self.config.host}:"
+            f"{self.server.bound_port} "
+            f"(state: {self.config.state_dir}, "
+            f"resumed {self.resumed_jobs} job(s))",
+            file=sys.stderr,
+            flush=True,
+        )
+        await self._shutdown_event.wait()
+        print("[serve] shutting down: draining jobs ...", file=sys.stderr)
+        summary = await self.shutdown()
+        print(
+            f"[serve] drained {summary['drained']} job(s), "
+            f"requeued {len(summary['interrupted'])}, "
+            f"{summary['queued_left']} left queued",
+            file=sys.stderr,
+            flush=True,
+        )
+        return summary
+
+    def run(self) -> int:
+        """Blocking entry point for the CLI."""
+        try:
+            asyncio.run(self.run_async())
+        except KeyboardInterrupt:
+            # Signal handler installation failed (exotic platform) and
+            # the interrupt surfaced directly: drain synchronously so
+            # ^C still exits with a consistent journal and no orphans.
+            self.supervisor.drain(timeout=self.config.drain_seconds)
+            try:
+                self.journal.compact(self.supervisor.registry.values())
+            except ReproError:
+                pass
+            self.journal.close()
+        return 0
+
+    # ---------------------------------------------------------- routing
+
+    def handle(self, request: Request) -> Response:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/readyz" and method == "GET":
+            return self._readyz()
+        if path == "/metrics" and method == "GET":
+            return self._metrics()
+        if path == "/jobs" and method == "POST":
+            return self._submit(request)
+        if path == "/jobs" and method == "GET":
+            return Response(
+                200,
+                {
+                    "jobs": [
+                        job.describe()
+                        for job in self.supervisor.registry.values()
+                    ]
+                },
+            )
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            if method == "GET":
+                return self._status(job_id)
+            if method == "DELETE":
+                return self._cancel(job_id)
+            return Response(405, {"error": f"{method} not allowed"})
+        return Response(404, {"error": f"no route {method} {path}"})
+
+    def _submit(self, request: Request) -> Response:
+        if not self.accepting:
+            return Response(503, {"error": "service is shutting down"})
+        try:
+            document = request.json()
+        except (ValueError, UnicodeDecodeError):
+            return Response(400, {"error": "body must be valid JSON"})
+        if not isinstance(document, dict):
+            return Response(400, {"error": "body must be a JSON object"})
+        try:
+            spec = spec_from_payload(document)
+            job = self.supervisor.submit(spec)
+        except AdmissionError as error:
+            return Response(
+                429,
+                {
+                    "error": str(error),
+                    "kind": type(error).__name__,
+                    "retry_after_seconds": 1.0,
+                },
+            )
+        except ConfigurationError as error:
+            return Response(400, {"error": str(error)})
+        return Response(201, {"job": job.describe()})
+
+    def _status(self, job_id: str) -> Response:
+        try:
+            job = self.supervisor.get(job_id)
+        except JobNotFoundError as error:
+            return Response(404, {"error": str(error)})
+        return Response(200, {"job": job.describe()})
+
+    def _cancel(self, job_id: str) -> Response:
+        try:
+            job = self.supervisor.cancel(job_id)
+        except JobNotFoundError as error:
+            return Response(404, {"error": str(error)})
+        except JobStateError as error:
+            return Response(409, {"error": str(error)})
+        return Response(200, {"job": job.describe()})
+
+    def _healthz(self) -> Response:
+        journal = self.journal.describe()
+        healthy = not journal["closed"]
+        return Response(
+            200 if healthy else 503,
+            {
+                "status": "ok" if healthy else "failing",
+                "journal": journal,
+                "queue": self.queue.describe(),
+                "supervisor": self.supervisor.describe(),
+            },
+        )
+
+    def _readyz(self) -> Response:
+        queue_full = self.queue.depth >= self.queue.max_depth
+        ready = self.accepting and not queue_full
+        reasons = []
+        if not self.accepting:
+            reasons.append("draining")
+        if queue_full:
+            reasons.append("queue full")
+        return Response(
+            200 if ready else 503,
+            {
+                "ready": ready,
+                "reasons": reasons,
+                "queue_depth": self.queue.depth,
+                "breaker": self.supervisor.breaker.describe(),
+            },
+        )
+
+    def _metrics(self) -> Response:
+        metrics = self.supervisor.metrics
+        metrics.queue_rejected = self.queue.rejected
+        metrics.breaker_trips = self.supervisor.breaker.trips
+        if self.supervisor.cache is not None:
+            metrics.cache_quarantined = self.supervisor.cache.quarantined
+        return Response(
+            200,
+            {
+                "engine": metrics.summary(),
+                "queue": self.queue.describe(),
+                "breaker": self.supervisor.breaker.describe(),
+                "journal": self.journal.describe(),
+                "jobs": {
+                    "registered": len(self.supervisor.registry),
+                    "running": self.supervisor.running,
+                    "resumed": self.resumed_jobs,
+                },
+            },
+        )
+
+
+def serve(config: ServiceConfig) -> int:
+    """CLI entry: run one daemon to completion."""
+    return ServiceDaemon(config).run()

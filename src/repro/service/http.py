@@ -1,0 +1,213 @@
+"""A small, dependency-free asyncio HTTP/1.1 server.
+
+The container ships no aiohttp/uvicorn, and the service API is a
+handful of JSON endpoints — so this module implements exactly the
+subset the daemon needs on top of ``asyncio.start_server``: request
+line + headers + Content-Length body parsing, JSON responses,
+per-request error isolation, and hard limits on request size (another
+admission-control surface: a misbehaving client can't balloon the
+daemon's memory with a gigabyte body).
+
+Connections are one-request (``Connection: close``): the clients are a
+CLI and a chaos harness, not a browser keeping a pipeline warm, and
+one-shot connections make the shutdown path trivially clean.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = ["Request", "Response", "HttpServer", "STATUS_REASONS"]
+
+#: Upper bound on header block + body the server will read.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The request body as JSON (None when empty); raises
+        ``ValueError`` on malformed bodies (mapped to HTTP 400)."""
+        if not self.body:
+            return None
+        return json.loads(self.body.decode("utf-8"))
+
+
+@dataclass
+class Response:
+    """A JSON response: status code + document."""
+
+    status: int = 200
+    document: Optional[Dict] = None
+
+    def encode(self) -> bytes:
+        body = json.dumps(
+            self.document if self.document is not None else {},
+            sort_keys=True,
+        ).encode("utf-8")
+        reason = STATUS_REASONS.get(self.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {self.status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        return head + body
+
+
+#: A handler takes the parsed request and returns a Response; it may be
+#: sync or async.
+Handler = Callable[[Request], "Response"]
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request from the stream; None on EOF/garbage."""
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except (
+        asyncio.IncompleteReadError,
+        asyncio.LimitOverrunError,
+        ConnectionError,
+    ):
+        return None
+    if len(header_block) > MAX_HEADER_BYTES:
+        return None
+    try:
+        text = header_block.decode("latin-1")
+        lines = text.split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        return None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    parts = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(parts.query).items()
+    }
+    body = b""
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        return None
+    if length < 0 or length > MAX_BODY_BYTES:
+        return None
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+    return Request(
+        method=method.upper(),
+        path=parts.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+class HttpServer:
+    """Serve ``handler`` over HTTP until :meth:`stop`."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.handler = handler
+        self.host = host
+        self.port = port  #: requested; see bound_port after start()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actually-bound port (resolves ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            return self.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_HEADER_BYTES,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                response = Response(400, {"error": "malformed request"})
+            else:
+                try:
+                    result = self.handler(request)
+                    if asyncio.iscoroutine(result):
+                        result = await result
+                    response = result
+                except ValueError as error:
+                    response = Response(
+                        400, {"error": f"bad request: {error}"}
+                    )
+                except Exception as error:  # isolate request crashes
+                    response = Response(
+                        500,
+                        {
+                            "error": (
+                                f"{type(error).__name__}: {error}"
+                            )
+                        },
+                    )
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

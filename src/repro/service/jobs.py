@@ -1,0 +1,278 @@
+"""Job model of the simulation service.
+
+A **job** is one client-submitted unit of work — a single simulation
+point, a grid slice, or a bench run — tracked from submission to a
+*terminal* state.  The service's core guarantee is that every accepted
+job ends in exactly one of ``done`` / ``failed`` / ``cancelled``: jobs
+are never silently lost, not even across a SIGKILL of the daemon
+(the write-ahead journal replays them on restart).
+
+Specs are declarative data (kind + JSON payload), mirroring
+:class:`repro.engine.spec.ExperimentPoint`: the daemon rebuilds the
+exact point list from the spec in any process, which is what makes a
+journal-replayed job equivalent to its original submission.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.engine import ExperimentPoint, KernelTraceSpec
+
+__all__ = [
+    "JobState",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "Job",
+    "spec_from_payload",
+    "spec_points",
+]
+
+
+class JobState:
+    """Lifecycle states; ``TERMINAL_STATES`` are the resting ones."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+TERMINAL_STATES = frozenset(
+    (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+)
+
+#: Job kinds the service accepts.
+JOB_KINDS = ("simulate", "grid", "bench")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What the client asked for: kind + kind-specific payload.
+
+    ``payload`` keys by kind:
+
+    * ``simulate`` — ``system``, ``kernel``, ``stride``, ``alignment``,
+      ``elements``;
+    * ``grid`` — ``systems``, ``kernels``, ``strides``, ``alignments``,
+      ``elements`` (lists; the cross product is the point set);
+    * ``bench`` — ``quick``, ``repeats``, ``systems``.
+    """
+
+    kind: str
+    payload: Dict
+    tenant: str = "default"
+    #: Wall-clock budget for the job once it starts; None = no deadline.
+    deadline_seconds: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise ConfigurationError(
+                f"unknown job kind {self.kind!r}; expected one of "
+                f"{', '.join(JOB_KINDS)}"
+            )
+        if not isinstance(self.payload, dict):
+            raise ConfigurationError(
+                f"job payload must be a dict, got {type(self.payload).__name__}"
+            )
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ConfigurationError("tenant must be a non-empty string")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_seconds must be positive or None, "
+                f"got {self.deadline_seconds}"
+            )
+
+    def describe(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "payload": self.payload,
+            "tenant": self.tenant,
+            "deadline_seconds": self.deadline_seconds,
+        }
+
+
+def spec_from_payload(document: Dict) -> JobSpec:
+    """Build a validated :class:`JobSpec` from a client/journal dict."""
+    if not isinstance(document, dict):
+        raise ConfigurationError("job spec must be a JSON object")
+    return JobSpec(
+        kind=document.get("kind", ""),
+        payload=document.get("payload", {}),
+        tenant=document.get("tenant", "default") or "default",
+        deadline_seconds=document.get("deadline_seconds"),
+    )
+
+
+def _as_list(payload: Dict, key: str, default) -> List:
+    value = payload.get(key, default)
+    if isinstance(value, (str, int)):
+        value = [value]
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ConfigurationError(
+            f"grid payload field {key!r} must be a non-empty list"
+        )
+    return list(value)
+
+
+def spec_points(spec: JobSpec) -> List[ExperimentPoint]:
+    """Materialize the engine point list a simulate/grid spec describes.
+
+    Validation (unknown kernels, bad strides, unknown systems) is
+    deliberately deferred to the engine/simulator, which already raises
+    precise :class:`~repro.errors.ConfigurationError` messages; this
+    function only shapes the payload.
+    """
+    payload = spec.payload
+    if spec.kind == "simulate":
+        return [
+            ExperimentPoint(
+                system=str(payload.get("system", "pva-sdram")),
+                trace=KernelTraceSpec(
+                    kernel=str(payload.get("kernel", "copy")),
+                    stride=int(payload.get("stride", 1)),
+                    alignment=str(payload.get("alignment", "aligned")),
+                    elements=int(payload.get("elements", 1024)),
+                ),
+            )
+        ]
+    if spec.kind == "grid":
+        systems = _as_list(payload, "systems", ["pva-sdram"])
+        kernels = _as_list(payload, "kernels", ["copy"])
+        strides = _as_list(payload, "strides", [1])
+        alignments = _as_list(payload, "alignments", ["aligned"])
+        elements = int(payload.get("elements", 1024))
+        return [
+            ExperimentPoint(
+                system=str(system),
+                trace=KernelTraceSpec(
+                    kernel=str(kernel),
+                    stride=int(stride),
+                    alignment=str(alignment),
+                    elements=elements,
+                ),
+            )
+            for system, kernel, stride, alignment in itertools.product(
+                systems, kernels, strides, alignments
+            )
+        ]
+    raise ConfigurationError(
+        f"job kind {spec.kind!r} has no point expansion (bench jobs run "
+        "through repro.bench)"
+    )
+
+
+class Job:
+    """One tracked job: spec, lifecycle state, progress, result.
+
+    Mutable by design — the supervisor's worker threads and the asyncio
+    request handlers share it, so every state transition goes through
+    the job's lock and ``describe()`` takes a consistent snapshot.
+    """
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        job_id: Optional[str] = None,
+        recovered: bool = False,
+    ):
+        self.id = job_id or uuid.uuid4().hex[:12]
+        self.spec = spec
+        self.state = JobState.QUEUED
+        self.recovered = recovered  #: replayed from the journal
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.error: Optional[str] = None
+        self.result: Optional[Dict] = None
+        self.progress: Dict = {
+            "points_total": 0,
+            "points_done": 0,
+            "cache_hits": 0,
+            "failures": 0,
+        }
+        self.cancel_event = threading.Event()
+        #: Set at graceful shutdown: abort at the next point boundary
+        #: but *requeue* instead of cancelling, so the job resumes from
+        #: the cache when the daemon restarts.
+        self.shutdown_event = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- state transitions (thread-safe) -------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self.state = JobState.RUNNING
+            self.started_at = time.time()
+
+    def mark_terminal(
+        self,
+        state: str,
+        error: Optional[str] = None,
+        result: Optional[Dict] = None,
+    ) -> None:
+        if state not in TERMINAL_STATES:
+            raise ConfigurationError(
+                f"{state!r} is not a terminal job state"
+            )
+        with self._lock:
+            self.state = state
+            self.error = error
+            if result is not None:
+                self.result = result
+            self.finished_at = time.time()
+
+    def request_cancel(self) -> None:
+        self.cancel_event.set()
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self.cancel_event.is_set()
+
+    def request_shutdown(self) -> None:
+        self.shutdown_event.set()
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self.shutdown_event.is_set()
+
+    def mark_requeued(self) -> None:
+        """Back to the queue after a shutdown abort (not terminal: the
+        journal keeps its ``submit`` record live for the next start)."""
+        with self._lock:
+            self.state = JobState.QUEUED
+            self.started_at = None
+
+    def deadline_expired(self) -> bool:
+        limit = self.spec.deadline_seconds
+        if limit is None or self.started_at is None:
+            return False
+        return time.time() - self.started_at > limit
+
+    def describe(self) -> Dict:
+        """JSON-safe snapshot for the API and the journal."""
+        with self._lock:
+            return {
+                "id": self.id,
+                "state": self.state,
+                "spec": self.spec.describe(),
+                "recovered": self.recovered,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "error": self.error,
+                "result": self.result,
+                "progress": dict(self.progress),
+                "cancel_requested": self.cancel_requested,
+            }

@@ -1,0 +1,316 @@
+"""Write-ahead job journal: the daemon's crash-recovery backbone.
+
+Every job transition is appended to a JSONL file *before* it is acted
+on: ``submit`` when a job is admitted, ``start`` when it begins
+executing, ``progress`` as points land, ``cancel`` when cancellation is
+requested, and ``end`` when it reaches a terminal state.  A daemon that
+is SIGKILLed mid-batch therefore loses nothing durable: on restart,
+:func:`JobJournal.replay` folds the log back into per-job records —
+jobs with a ``submit`` but no ``end`` are *incomplete* and get
+re-enqueued, and their already-computed grid points replay from the
+content-addressed :class:`~repro.engine.cache.ResultCache` instead of
+being re-simulated.
+
+Robustness properties:
+
+* each record is one line, written with a single ``write`` call and
+  flushed; ``submit``/``end``/``cancel`` records are additionally
+  fsynced, so the accepted-jobs set survives power loss;
+* every record is stamped with :data:`JOURNAL_SCHEMA_VERSION` (the
+  same convention as the result cache's ``schema_version``): replay
+  skips — and counts — records from other versions rather than
+  misreading them;
+* a torn final line (the SIGKILL landed mid-write) is skipped and
+  counted, never fatal;
+* :meth:`JobJournal.compact` rewrites the log atomically (temp file +
+  ``os.replace``) keeping only live records, so the journal stays
+  bounded across restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import JournalError
+from repro.service.jobs import TERMINAL_STATES, JobState
+
+__all__ = ["JOURNAL_SCHEMA_VERSION", "JobJournal", "JournalReplay"]
+
+#: Stamped into every record; bump when record semantics change so an
+#: old daemon never misreads a new journal (and vice versa).
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Record types that must hit the platter before the daemon proceeds.
+_DURABLE_TYPES = frozenset(("submit", "end", "cancel"))
+
+
+@dataclass
+class JournalReplay:
+    """The folded state of one journal file."""
+
+    #: job_id -> folded record: {"spec": dict, "state": str,
+    #: "error": str|None, "result": dict|None, "cancel_requested": bool,
+    #: "was_running": bool}
+    jobs: Dict[str, Dict] = field(default_factory=dict)
+    #: Lines that could not be parsed (torn tail, corruption).
+    skipped: int = 0
+    #: Records from a different schema version.
+    version_skipped: int = 0
+    #: Total records successfully folded.
+    records: int = 0
+
+    @property
+    def incomplete(self) -> List[str]:
+        """Job ids with a ``submit`` but no terminal ``end`` — the jobs
+        a restarted daemon must resume (in submission order)."""
+        return [
+            job_id
+            for job_id, record in self.jobs.items()
+            if record["state"] not in TERMINAL_STATES
+        ]
+
+
+class JobJournal:
+    """Append-only JSONL journal with atomic compaction."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(
+                self.path, "a", encoding="utf-8", buffering=1
+            )
+        except OSError as error:
+            raise JournalError(
+                f"cannot open job journal {self.path}: {error}"
+            ) from error
+        self.records_written = 0
+        # Supervisor worker threads and the asyncio thread both append.
+        self._lock = threading.Lock()
+
+    # ----------------------------------------------------------- write
+
+    def record(self, record_type: str, job_id: str, **fields) -> None:
+        """Append one record; durable types are fsynced."""
+        if self._handle.closed:
+            raise JournalError(
+                f"journal {self.path} is closed; record {record_type!r} "
+                "for job {job_id} was not written"
+            )
+        document = {
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+            "type": record_type,
+            "job_id": job_id,
+        }
+        document.update(fields)
+        line = json.dumps(document, sort_keys=True) + "\n"
+        try:
+            with self._lock:
+                self._handle.write(line)
+                self._handle.flush()
+                if record_type in _DURABLE_TYPES:
+                    os.fsync(self._handle.fileno())
+        except OSError as error:
+            raise JournalError(
+                f"cannot append to job journal {self.path}: {error}"
+            ) from error
+        self.records_written += 1
+
+    def submit(self, job) -> None:
+        self.record("submit", job.id, spec=job.spec.describe())
+
+    def start(self, job) -> None:
+        self.record("start", job.id)
+
+    def progress(self, job) -> None:
+        self.record("progress", job.id, progress=dict(job.progress))
+
+    def cancel(self, job_id: str) -> None:
+        self.record("cancel", job_id)
+
+    def end(self, job) -> None:
+        self.record(
+            "end",
+            job.id,
+            state=job.state,
+            error=job.error,
+            result=job.result,
+        )
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass
+            self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    # ---------------------------------------------------------- replay
+
+    @classmethod
+    def replay(cls, path: Union[str, Path]) -> JournalReplay:
+        """Fold a journal file into per-job records.
+
+        Unparsable lines and wrong-version records are skipped and
+        counted; a missing file replays to an empty state.  Never
+        raises on content — the journal is the recovery path, so it
+        must be readable after any crash.
+        """
+        replay = JournalReplay()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return replay
+        except OSError as error:
+            raise JournalError(
+                f"cannot read job journal {path}: {error}"
+            ) from error
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                replay.skipped += 1
+                continue
+            if not isinstance(document, dict):
+                replay.skipped += 1
+                continue
+            if document.get("schema_version") != JOURNAL_SCHEMA_VERSION:
+                replay.version_skipped += 1
+                continue
+            job_id = document.get("job_id")
+            record_type = document.get("type")
+            if not isinstance(job_id, str) or not record_type:
+                replay.skipped += 1
+                continue
+            replay.records += 1
+            record = replay.jobs.get(job_id)
+            if record_type == "submit":
+                replay.jobs[job_id] = {
+                    "spec": document.get("spec", {}),
+                    "state": JobState.QUEUED,
+                    "error": None,
+                    "result": None,
+                    "progress": {},
+                    "cancel_requested": False,
+                    "was_running": False,
+                }
+                continue
+            if record is None:
+                # A non-submit record for an unknown job (compacted
+                # away or torn submit): count it, nothing to fold onto.
+                replay.skipped += 1
+                continue
+            if record_type == "start":
+                record["was_running"] = True
+            elif record_type == "progress":
+                progress = document.get("progress")
+                if isinstance(progress, dict):
+                    record["progress"] = progress
+            elif record_type == "cancel":
+                record["cancel_requested"] = True
+            elif record_type == "end":
+                state = document.get("state")
+                if state in TERMINAL_STATES:
+                    record["state"] = state
+                    record["error"] = document.get("error")
+                    record["result"] = document.get("result")
+                else:
+                    replay.skipped += 1
+        return replay
+
+    # --------------------------------------------------------- compact
+
+    def compact(self, jobs) -> int:
+        """Atomically rewrite the journal from live job state.
+
+        Keeps one ``submit`` (+ ``end`` for terminal jobs, ``cancel``
+        for pending cancels) per known job, dropping the historical
+        progress chatter.  Returns the number of records written.
+        Called at startup after replay and at graceful shutdown, so the
+        journal's size is bounded by the job registry, not by uptime.
+        """
+        fd, temp_name = tempfile.mkstemp(
+            dir=str(self.path.parent),
+            prefix=f".{self.path.name}.",
+            suffix=".compact",
+        )
+        written = 0
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for job in jobs:
+                    records = [
+                        {
+                            "schema_version": JOURNAL_SCHEMA_VERSION,
+                            "type": "submit",
+                            "job_id": job.id,
+                            "spec": job.spec.describe(),
+                        }
+                    ]
+                    if job.cancel_requested and not job.terminal:
+                        records.append(
+                            {
+                                "schema_version": JOURNAL_SCHEMA_VERSION,
+                                "type": "cancel",
+                                "job_id": job.id,
+                            }
+                        )
+                    if job.terminal:
+                        records.append(
+                            {
+                                "schema_version": JOURNAL_SCHEMA_VERSION,
+                                "type": "end",
+                                "job_id": job.id,
+                                "state": job.state,
+                                "error": job.error,
+                                "result": job.result,
+                            }
+                        )
+                    for document in records:
+                        handle.write(
+                            json.dumps(document, sort_keys=True) + "\n"
+                        )
+                        written += 1
+                handle.flush()
+                os.fsync(handle.fileno())
+            # Swap the live handle over to the compacted file.
+            was_closed = self._handle.closed
+            if not was_closed:
+                self._handle.close()
+            os.replace(temp_name, self.path)
+            self._handle = open(
+                self.path, "a", encoding="utf-8", buffering=1
+            )
+            if was_closed:
+                self._handle.close()
+        except OSError as error:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise JournalError(
+                f"cannot compact job journal {self.path}: {error}"
+            ) from error
+        return written
+
+    def describe(self) -> Dict:
+        return {
+            "path": str(self.path),
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+            "records_written": self.records_written,
+            "closed": self._handle.closed,
+        }

@@ -1,0 +1,144 @@
+"""Bounded job queue with admission control and per-tenant quotas.
+
+The daemon protects itself at the front door: a queue that buffered
+without limit would turn overload into unbounded memory growth and
+unbounded latency, so admission is **reject-fast** —
+:class:`~repro.errors.QueueFullError` when the queue is at capacity and
+:class:`~repro.errors.QuotaExceededError` when one tenant already holds
+its share of queued + running jobs (both map to HTTP 429 at the
+service boundary).  Rejected work costs the daemon one counter
+increment; accepted work is guaranteed a terminal state.
+
+Thread-safe: the asyncio request handlers and the supervisor's worker
+threads all go through one lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Optional
+
+from repro.errors import (
+    ConfigurationError,
+    QueueFullError,
+    QuotaExceededError,
+)
+from repro.service.jobs import Job
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """FIFO job queue with a depth bound and per-tenant active quotas.
+
+    A tenant's *active* count covers both queued and running jobs; it
+    is released only when the job reaches a terminal state
+    (:meth:`release`), so a tenant cannot sidestep its quota by
+    keeping jobs long-running.
+    """
+
+    def __init__(self, max_depth: int = 64, tenant_quota: int = 8):
+        if max_depth < 1:
+            raise ConfigurationError(
+                f"queue max_depth must be >= 1, got {max_depth}"
+            )
+        if tenant_quota < 1:
+            raise ConfigurationError(
+                f"tenant_quota must be >= 1, got {tenant_quota}"
+            )
+        self.max_depth = max_depth
+        self.tenant_quota = tenant_quota
+        self._lock = threading.Lock()
+        self._queue: deque = deque()
+        self._active_by_tenant: Dict[str, int] = {}
+        self.rejected_full = 0
+        self.rejected_quota = 0
+        self.admitted = 0
+
+    # -------------------------------------------------------- admission
+
+    def submit(self, job: Job, *, count_quota: bool = True) -> None:
+        """Admit ``job`` or raise an :class:`AdmissionError` subclass.
+
+        ``count_quota=False`` bypasses the quota check (not the depth
+        bound) for journal-recovered jobs: work the daemon already
+        accepted before a crash must not be re-rejected on restart.
+        """
+        with self._lock:
+            if len(self._queue) >= self.max_depth:
+                self.rejected_full += 1
+                raise QueueFullError(
+                    f"job queue is full ({self.max_depth} queued); "
+                    "retry with backoff"
+                )
+            tenant = job.spec.tenant
+            active = self._active_by_tenant.get(tenant, 0)
+            if count_quota and active >= self.tenant_quota:
+                self.rejected_quota += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} already has {active} active "
+                    f"job(s) (quota {self.tenant_quota}); retry after "
+                    "one finishes"
+                )
+            self._queue.append(job)
+            self._active_by_tenant[tenant] = active + 1
+            self.admitted += 1
+
+    def release(self, job: Job) -> None:
+        """Return ``job``'s quota slot (call once, on terminal state)."""
+        with self._lock:
+            tenant = job.spec.tenant
+            active = self._active_by_tenant.get(tenant, 0)
+            if active <= 1:
+                self._active_by_tenant.pop(tenant, None)
+            else:
+                self._active_by_tenant[tenant] = active - 1
+
+    # ------------------------------------------------------- scheduling
+
+    def claim_next(self) -> Optional[Job]:
+        """Pop the oldest queued job.
+
+        Cancel-requested jobs are returned too — the runner turns them
+        into terminal ``cancelled`` states; dropping them here would
+        lose them.  Only jobs that somehow already reached a terminal
+        state are skipped.
+        """
+        with self._lock:
+            while self._queue:
+                job = self._queue.popleft()
+                if not job.terminal:
+                    return job
+            return None
+
+    def remove(self, job: Job) -> bool:
+        """Drop a specific queued job (cancellation); True if found."""
+        with self._lock:
+            try:
+                self._queue.remove(job)
+            except ValueError:
+                return False
+            return True
+
+    # ------------------------------------------------------ observation
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_full + self.rejected_quota
+
+    def describe(self) -> Dict:
+        with self._lock:
+            return {
+                "depth": len(self._queue),
+                "max_depth": self.max_depth,
+                "tenant_quota": self.tenant_quota,
+                "active_by_tenant": dict(self._active_by_tenant),
+                "admitted": self.admitted,
+                "rejected_full": self.rejected_full,
+                "rejected_quota": self.rejected_quota,
+            }

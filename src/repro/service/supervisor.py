@@ -1,0 +1,469 @@
+"""The job supervisor: queue -> warm engine pools -> terminal states.
+
+One :class:`Supervisor` owns the job registry, the admission queue, the
+write-ahead journal, a shared content-addressed result cache, and a
+small thread pool of job runners.  Each job executes on its own
+:class:`~repro.engine.ExperimentEngine` (the process pool inside it
+does the simulating), with:
+
+* **streaming progress** — an :class:`~repro.engine.EngineHooks`
+  adapter folds per-point outcomes into the job's ``progress`` dict and
+  the journal as they land, so clients polling ``GET /jobs/<id>`` watch
+  the batch advance;
+* **cooperative cancellation and deadlines** — the engine's ``abort``
+  callback polls the job's cancel event and wall-clock budget between
+  point completions; completed points are already cached, so nothing is
+  wasted;
+* **a circuit breaker** (:class:`~repro.engine.CircuitBreaker`) —
+  repeated pool incidents (lost workers, timeouts, in-batch
+  degradation) trip the service to inline execution, where the
+  simulation watchdog is the containment layer, and a half-open probe
+  restores pool execution once batches behave again;
+* **full-jitter retries** — queued jobs that fail together back off on
+  desynchronized schedules instead of storming the pool in lockstep.
+
+Every path out of :meth:`_run_job` ends with a journal ``end`` record
+and a quota release: an accepted job cannot leave the system without a
+terminal state.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+from repro.engine import (
+    CircuitBreaker,
+    EngineHooks,
+    EngineMetrics,
+    ExperimentEngine,
+    ResultCache,
+    RetryPolicy,
+)
+from repro.errors import (
+    BatchAbortedError,
+    JobNotFoundError,
+    JobStateError,
+    QueueFullError,
+    ReproError,
+)
+from repro.service.jobs import (
+    Job,
+    JobSpec,
+    JobState,
+    spec_from_payload,
+    spec_points,
+)
+from repro.service.journal import JobJournal, JournalReplay
+from repro.service.queue import AdmissionQueue
+
+__all__ = ["Supervisor"]
+
+#: EngineMetrics fields folded from per-job engines into the service
+#: totals (component_cycles is merged structurally).
+_NUMERIC_METRIC_FIELDS = (
+    "points_total",
+    "points_done",
+    "cache_hits",
+    "simulated",
+    "coalesced",
+    "elapsed_seconds",
+    "failures",
+    "retries",
+    "timeouts",
+    "degraded",
+    "simulated_cycles",
+    "sim_seconds",
+    "aborted",
+)
+
+
+class _JobProgressHooks(EngineHooks):
+    """Stream engine outcomes into the job record and the journal."""
+
+    def __init__(self, job: Job, journal: JobJournal):
+        self.job = job
+        self.journal = journal
+        self.cycles: Dict[int, Optional[int]] = {}
+
+    def point_done(self, outcome, metrics):
+        progress = self.job.progress
+        progress["points_done"] += 1
+        if outcome.cached:
+            progress["cache_hits"] += 1
+        self.cycles[outcome.index] = outcome.cycles
+        try:
+            self.journal.progress(self.job)
+        except ReproError:
+            # Progress records are advisory; losing one must not fail
+            # the batch (the cache still holds the computed point).
+            pass
+
+    def point_failed(self, failure, metrics):
+        self.job.progress["failures"] += 1
+
+
+class Supervisor:
+    """Runs admitted jobs to terminal states; survives its own pools."""
+
+    def __init__(
+        self,
+        *,
+        queue: AdmissionQueue,
+        journal: JobJournal,
+        cache_dir=None,
+        engine_jobs: int = 2,
+        concurrency: int = 1,
+        point_timeout: Optional[float] = 60.0,
+        retries: int = 1,
+        breaker: Optional[CircuitBreaker] = None,
+        on_job_end: Optional[Callable[[Job], None]] = None,
+    ):
+        self.queue = queue
+        self.journal = journal
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.engine_jobs = max(1, int(engine_jobs))
+        self.concurrency = max(1, int(concurrency))
+        self.point_timeout = point_timeout
+        self.retry = RetryPolicy(
+            retries=max(0, int(retries)),
+            backoff_seconds=0.05 if retries else 0.0,
+            jitter=True,  # desynchronize retry storms across queued jobs
+        )
+        self.breaker = breaker or CircuitBreaker()
+        self.on_job_end = on_job_end
+        self.registry: Dict[str, Job] = {}
+        self.metrics = EngineMetrics(jobs=self.engine_jobs)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.concurrency,
+            thread_name_prefix="repro-job",
+        )
+        self._lock = threading.Lock()
+        self._running: Dict[str, object] = {}  #: job_id -> Future
+        self._draining = False
+
+    # ------------------------------------------------------ submission
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one job: quota/depth checks, then WAL, then queue.
+
+        The journal record is written before the caller learns the job
+        id, so an accepted job survives any later crash.  Raises an
+        :class:`~repro.errors.AdmissionError` subclass on rejection
+        (counted in ``metrics.queue_rejected``).
+        """
+        if self._draining:
+            self.metrics.queue_rejected += 1
+            raise QueueFullError("service is shutting down")
+        job = Job(spec)
+        try:
+            self.queue.submit(job)
+        except ReproError:
+            self.metrics.queue_rejected += 1
+            raise
+        self.journal.submit(job)
+        self.registry[job.id] = job
+        return job
+
+    def recover(self, replay: JournalReplay) -> List[Job]:
+        """Re-enqueue the journal's incomplete jobs after a restart.
+
+        Terminal jobs are re-registered in their final states (so
+        clients can still query them); incomplete ones are re-queued
+        with ``recovered=True`` and bypass the tenant quota — the
+        daemon already accepted them once.
+        """
+        resumed = []
+        for job_id, record in replay.jobs.items():
+            try:
+                spec = spec_from_payload(record["spec"])
+            except ReproError:
+                continue  # unreadable spec: cannot be re-run
+            job = Job(spec, job_id=job_id, recovered=True)
+            if record["state"] in (
+                JobState.DONE,
+                JobState.FAILED,
+                JobState.CANCELLED,
+            ):
+                job.mark_terminal(
+                    record["state"],
+                    error=record.get("error"),
+                    result=record.get("result"),
+                )
+                self.registry[job.id] = job
+                continue
+            if record.get("cancel_requested"):
+                job.request_cancel()
+            self.queue.submit(job, count_quota=False)
+            self.registry[job.id] = job
+            self.metrics.journal_replayed += 1
+            resumed.append(job)
+        return resumed
+
+    # ------------------------------------------------------ scheduling
+
+    def dispatch(self) -> int:
+        """Start queued jobs while runner slots are free; returns the
+        number started.  Called by the daemon's scheduler loop."""
+        started = 0
+        with self._lock:
+            if self._draining:
+                return 0
+            while len(self._running) < self.concurrency:
+                job = self.queue.claim_next()
+                if job is None:
+                    break
+                future = self._executor.submit(self._run_job, job)
+                self._running[job.id] = future
+                future.add_done_callback(
+                    lambda _f, job_id=job.id: self._running.pop(
+                        job_id, None
+                    )
+                )
+                started += 1
+        return started
+
+    @property
+    def running(self) -> int:
+        return len(self._running)
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self.registry[job_id]
+        except KeyError:
+            raise JobNotFoundError(f"no job {job_id!r}") from None
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; queued jobs die immediately, running
+        ones stop at the next point boundary."""
+        job = self.get(job_id)
+        if job.terminal:
+            raise JobStateError(
+                f"job {job_id} already {job.state}; nothing to cancel"
+            )
+        self.journal.cancel(job.id)
+        job.request_cancel()
+        if job.state == JobState.QUEUED and self.queue.remove(job):
+            self._finish(job, JobState.CANCELLED, "cancelled while queued")
+        return job
+
+    # -------------------------------------------------------- execution
+
+    def _finish(
+        self,
+        job: Job,
+        state: str,
+        error: Optional[str] = None,
+        result: Optional[Dict] = None,
+    ) -> None:
+        """The single exit gate: terminal state + journal + quota."""
+        job.mark_terminal(state, error=error, result=result)
+        try:
+            self.journal.end(job)
+        finally:
+            self.queue.release(job)
+        if self.on_job_end is not None:
+            self.on_job_end(job)
+
+    def _run_job(self, job: Job) -> None:
+        try:
+            if job.cancel_requested:
+                self._finish(
+                    job, JobState.CANCELLED, "cancelled before start"
+                )
+                return
+            job.mark_running()
+            self.journal.start(job)
+            if job.spec.kind == "bench":
+                self._run_bench_job(job)
+            else:
+                self._run_points_job(job)
+        except Exception as error:  # the terminal-state guarantee:
+            # no exception may leave a job undecided.
+            if not job.terminal:
+                self._finish(
+                    job,
+                    JobState.FAILED,
+                    f"{type(error).__name__}: {error}",
+                )
+
+    def _run_points_job(self, job: Job) -> None:
+        points = spec_points(job.spec)
+        job.progress["points_total"] = len(points)
+        hooks = _JobProgressHooks(job, self.journal)
+        use_pool = self.engine_jobs > 1 and self.breaker.allow()
+        engine = ExperimentEngine(
+            jobs=self.engine_jobs if use_pool else 1,
+            hooks=hooks,
+            on_error="collect",
+            retry=self.retry,
+            timeout=self.point_timeout,
+        )
+        if self.cache is not None:
+            engine.cache = self.cache  # one shared cache, all jobs
+        pool_incident = False
+        try:
+            batch = engine.run(
+                points,
+                abort=lambda: job.cancel_requested
+                or job.shutdown_requested
+                or job.deadline_expired(),
+            )
+        except BatchAbortedError:
+            if job.cancel_requested:
+                self._finish(
+                    job, JobState.CANCELLED, "cancelled mid-batch"
+                )
+            elif job.shutdown_requested:
+                # Graceful shutdown: not terminal — the journal keeps
+                # the submit record live and the completed points are
+                # cached, so the restarted daemon resumes cheaply.
+                job.mark_requeued()
+            else:
+                self._finish(
+                    job,
+                    JobState.FAILED,
+                    f"deadline of {job.spec.deadline_seconds}s exceeded",
+                )
+            return
+        except Exception:
+            pool_incident = use_pool
+            raise
+        finally:
+            if use_pool:
+                pool_incident = (
+                    pool_incident
+                    or engine.metrics.timeouts > 0
+                    or engine.metrics.degraded > 0
+                )
+                if pool_incident:
+                    self.breaker.record_incident()
+                else:
+                    self.breaker.record_success()
+            self._fold_metrics(engine.metrics)
+        cycles = [
+            hooks.cycles.get(index) for index in range(len(points))
+        ]
+        result = {
+            "cycles": cycles,
+            "points": len(points),
+            "cache_hits": engine.metrics.cache_hits,
+            "simulated": engine.metrics.simulated,
+            "failures": [
+                failure.describe() for failure in batch.failures
+            ]
+            if hasattr(batch, "failures")
+            else [],
+        }
+        if getattr(batch, "failures", ()):
+            self._finish(
+                job,
+                JobState.FAILED,
+                f"{len(batch.failures)} of {len(points)} point(s) "
+                "failed terminally",
+                result=result,
+            )
+        else:
+            self._finish(job, JobState.DONE, result=result)
+
+    def _run_bench_job(self, job: Job) -> None:
+        from repro.bench import run_bench
+
+        payload = job.spec.payload
+        report = run_bench(
+            elements=int(payload.get("elements", 256)),
+            repeats=int(payload.get("repeats", 1)),
+            quick=bool(payload.get("quick", True)),
+            systems=payload.get("systems"),
+        )
+        self._finish(
+            job,
+            JobState.DONE,
+            result={
+                "speedup": report.get("speedup"),
+                "systems": {
+                    name: {
+                        "simulated_cycles": entry.get("simulated_cycles"),
+                        "speedup": entry.get("speedup"),
+                    }
+                    for name, entry in report.get("systems", {}).items()
+                },
+            },
+        )
+
+    def _fold_metrics(self, source: EngineMetrics) -> None:
+        """Accumulate one job engine's metrics into the service totals."""
+        with self._lock:
+            for name in _NUMERIC_METRIC_FIELDS:
+                setattr(
+                    self.metrics,
+                    name,
+                    getattr(self.metrics, name) + getattr(source, name),
+                )
+            for name, buckets in source.component_cycles.items():
+                entry = self.metrics.component_cycles.setdefault(
+                    name, {"busy": 0, "stalled": 0, "idle": 0}
+                )
+                for bucket in ("busy", "stalled", "idle"):
+                    entry[bucket] += buckets.get(bucket, 0)
+            self.metrics.breaker_trips = self.breaker.trips
+            self.metrics.queue_rejected = self.queue.rejected
+            if self.cache is not None:
+                self.metrics.cache_quarantined = self.cache.quarantined
+
+    # --------------------------------------------------------- shutdown
+
+    def drain(self, timeout: float = 30.0, grace: float = 5.0) -> Dict:
+        """Graceful shutdown: stop dispatching, let running jobs finish
+        within ``timeout``, then cancel-request stragglers and give
+        them ``grace`` to stop at a point boundary.
+
+        Queued jobs stay queued — their journal ``submit`` records make
+        them resume on the next start.  Returns a summary dict.
+        """
+        import time as _time
+
+        self._draining = True
+        deadline = _time.monotonic() + max(0.0, timeout)
+        futures = dict(self._running)
+        for future in futures.values():
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                future.result(timeout=remaining)
+            except Exception:
+                pass  # _run_job never lets job failures escape anyway
+        interrupted = []
+        if self._running:
+            # Still running past the drain budget: abort at the next
+            # point boundary and requeue (completed points are already
+            # cached, so the restarted daemon recomputes nothing).
+            for job_id in list(self._running):
+                job = self.registry.get(job_id)
+                if job is not None and not job.terminal:
+                    job.request_shutdown()
+                    interrupted.append(job_id)
+            for future in dict(self._running).values():
+                try:
+                    future.result(timeout=grace)
+                except Exception:
+                    pass
+        self._executor.shutdown(wait=False)
+        return {
+            "drained": len(futures) - len(interrupted),
+            "interrupted": interrupted,
+            "queued_left": self.queue.depth,
+        }
+
+    def describe(self) -> Dict:
+        return {
+            "running": self.running,
+            "concurrency": self.concurrency,
+            "engine_jobs": self.engine_jobs,
+            "draining": self._draining,
+            "breaker": self.breaker.describe(),
+            "queue": self.queue.describe(),
+            "jobs": len(self.registry),
+        }

@@ -222,3 +222,114 @@ class TestPollutedDirectory:
         corruptor.non_dict_entry(keys[2])
         for key in keys:
             assert cache.get(key) is None
+
+
+class TestQuarantine:
+    """Corrupt entries are moved aside — evidence preserved, lookup
+    path cleared — and never served or recounted."""
+
+    KEY = "ab" + "0" * 62
+
+    def _corrupted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(self.KEY, {"cycles": 145})
+        cache._path(self.KEY).write_text("{torn", encoding="utf-8")
+        return cache
+
+    def test_corrupt_entry_moves_to_quarantine_dir(self, tmp_path):
+        cache = self._corrupted(tmp_path)
+        assert cache.get(self.KEY) is None
+        quarantine = tmp_path / ResultCache.QUARANTINE_DIR
+        assert (quarantine / f"{self.KEY}.json.quarantined").exists()
+        assert cache.quarantined == 1
+
+    def test_quarantined_entry_leaves_len_and_put_usable(self, tmp_path):
+        cache = self._corrupted(tmp_path)
+        cache.get(self.KEY)
+        assert len(cache) == 0  # quarantine files are not entries
+        cache.put(self.KEY, {"cycles": 99})  # slot is reusable
+        assert cache.get(self.KEY)["cycles"] == 99
+        assert len(cache) == 1
+
+    def test_wrong_shape_document_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache._path(self.KEY)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"cycles": "not-an-int"}))
+        assert cache.get(self.KEY) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+
+    def test_stale_schema_is_a_miss_but_not_quarantined(self, tmp_path):
+        from repro.engine.cache import SCHEMA_VERSION
+
+        cache = ResultCache(tmp_path)
+        path = cache._path(self.KEY)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps({"cycles": 145, "schema_version": SCHEMA_VERSION - 1})
+        )
+        assert cache.get(self.KEY) is None
+        # The entry is well-formed, just old: no quarantine, and a
+        # fresh put overwrites it in place.
+        assert cache.quarantined == 0
+        assert path.exists()
+
+    def test_counter_accumulates_across_entries(self, tmp_path):
+        from repro.faults import CacheCorruptor
+
+        cache = ResultCache(tmp_path)
+        corruptor = CacheCorruptor(cache)
+        keys = ["aa" + "0" * 62, "bb" + "0" * 62]
+        corruptor.torn_entry(keys[0])
+        corruptor.garbage_entry(keys[1])
+        for key in keys:
+            cache.get(key)
+        assert cache.quarantined == 2
+
+
+def _hammer_cache(root, seed):
+    """One stress worker: interleaved put/get rounds over shared keys.
+
+    Runs in a child process; any assertion failure surfaces as a
+    nonzero exit code in the parent's join."""
+    cache = ResultCache(root)
+    keys = [f"{index:02x}" + "0" * 62 for index in range(8)]
+    for round_number in range(40):
+        for key in keys:
+            cache.put(key, {"cycles": seed * 1000 + round_number})
+            document = cache.get(key)
+            assert document is not None, "own write must be visible"
+            assert isinstance(document["cycles"], int)
+            assert document["cycles"] >= 0
+
+
+class TestConcurrentWriters:
+    def test_multiprocess_stress_leaves_only_valid_entries(self, tmp_path):
+        """Many processes hammering the same keys: every read returns a
+        complete document (atomic replace — no torn reads), and the
+        directory afterwards holds exactly the entry files, all valid,
+        with no orphaned temp files."""
+        import multiprocessing
+
+        from repro.engine.cache import SCHEMA_VERSION
+
+        context = multiprocessing.get_context("fork")
+        workers = [
+            context.Process(target=_hammer_cache, args=(tmp_path, seed))
+            for seed in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 8
+        for entry in cache.root.glob("*/*.json"):
+            document = json.loads(entry.read_text(encoding="utf-8"))
+            assert document["schema_version"] == SCHEMA_VERSION
+            assert isinstance(document["cycles"], int)
+        assert list(tmp_path.glob("*/.tmp-*")) == []
+        assert cache.quarantined == 0

@@ -280,6 +280,142 @@ class TestRetryPolicy:
             RetryPolicy(**kwargs)
 
 
+class TestJitter:
+    """Full-jitter backoff: bounded by the exponential cap, varied
+    across draws, and off by default so batches stay reproducible."""
+
+    def _policy(self):
+        return RetryPolicy(
+            retries=5,
+            backoff_seconds=1.0,
+            backoff_factor=2.0,
+            max_backoff_seconds=3.0,
+            jitter=True,
+        )
+
+    def test_delay_is_within_the_exponential_envelope(self):
+        policy = self._policy()
+        for retry_number, cap in [(1, 1.0), (2, 2.0), (3, 3.0), (4, 3.0)]:
+            for _ in range(200):
+                delay = policy.delay(retry_number)
+                assert 0.0 <= delay <= cap
+
+    def test_draws_vary(self):
+        import random
+
+        random.seed(0xC0FFEE)
+        policy = self._policy()
+        draws = {policy.delay(3) for _ in range(32)}
+        assert len(draws) > 1  # full jitter, not a constant
+
+    def test_zero_backoff_stays_free_with_jitter(self):
+        assert RetryPolicy(retries=2, jitter=True).delay(1) == 0.0
+
+    def test_default_policy_is_deterministic(self):
+        policy = RetryPolicy(retries=3, backoff_seconds=0.5)
+        assert policy.jitter is False
+        assert policy.delay(2) == policy.delay(2) == 1.0
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, cooldown=30.0):
+        from repro.engine import CircuitBreaker
+
+        clock = _FakeClock()
+        return (
+            CircuitBreaker(
+                threshold=threshold,
+                cooldown_seconds=cooldown,
+                clock=clock,
+            ),
+            clock,
+        )
+
+    def test_starts_closed_and_allows(self):
+        breaker, _ = self._breaker()
+        assert breaker.state == breaker.CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold(self):
+        breaker, _ = self._breaker(threshold=3)
+        breaker.record_incident()
+        breaker.record_incident()
+        assert breaker.state == breaker.CLOSED
+        breaker.record_incident()
+        assert breaker.state == breaker.OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _ = self._breaker(threshold=2)
+        breaker.record_incident()
+        breaker.record_success()
+        breaker.record_incident()
+        assert breaker.state == breaker.CLOSED  # streak was broken
+
+    def test_half_open_grants_exactly_one_probe(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=10.0)
+        breaker.record_incident()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == breaker.HALF_OPEN
+        assert breaker.allow()  # the probe slot
+        assert not breaker.allow()  # claimed: no second probe
+
+    def test_probe_success_closes(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=10.0)
+        breaker.record_incident()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == breaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=10.0)
+        breaker.record_incident()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_incident()
+        assert breaker.state == breaker.OPEN
+        assert breaker.trips == 2
+        clock.advance(5.0)
+        assert breaker.state == breaker.OPEN  # fresh cooldown, not stale
+        clock.advance(5.0)
+        assert breaker.state == breaker.HALF_OPEN
+
+    def test_validation(self):
+        from repro.engine import CircuitBreaker
+
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown_seconds=-1)
+
+    def test_describe_snapshot(self):
+        breaker, _ = self._breaker(threshold=2, cooldown=7.0)
+        breaker.record_incident()
+        snapshot = breaker.describe()
+        assert snapshot == {
+            "state": "closed",
+            "incidents": 1,
+            "trips": 0,
+            "threshold": 2,
+            "cooldown_seconds": 7.0,
+        }
+
+
 class TestEngineConfiguration:
     def test_bad_on_error_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -340,7 +476,7 @@ class TestIncompleteBatch:
         loud IncompleteBatchError instead of returning short results."""
         engine = ExperimentEngine(jobs=1)
         monkeypatch.setattr(
-            engine, "_execute", lambda pending: iter(())
+            engine, "_execute", lambda pending, abort=None: iter(())
         )
         with pytest.raises(IncompleteBatchError):
             engine.run([_point("pva-sdram")])

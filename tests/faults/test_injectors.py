@@ -89,6 +89,7 @@ class TestRegistry:
                 "raising",
                 "burner",
                 "killer",
+                "slow",
                 "transient",
                 "killer-once",
             }

@@ -1,0 +1,294 @@
+"""End-to-end daemon tests: real sockets, real supervisor, one process.
+
+The daemon's asyncio loop runs on a background thread; the test body
+plays the client role through :class:`ServiceClient` (plus a raw
+``http.client`` connection for the malformed-request cases).
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.errors import (
+    JobNotFoundError,
+    JobStateError,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceError,
+)
+from repro.faults import uninstall_fault_systems
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceConfig, ServiceDaemon
+from repro.service.jobs import JobState
+from repro.service.journal import JobJournal
+
+
+class _Harness:
+    """One in-process daemon on an ephemeral port."""
+
+    def __init__(self, config: ServiceConfig):
+        self.daemon = ServiceDaemon(config)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self._main, name="daemon-loop", daemon=True
+        )
+        self.stopped = False
+
+    def _main(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def start(self) -> "_Harness":
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.daemon.start(), self.loop
+        ).result(timeout=15)
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.daemon.server.bound_port
+
+    def client(self, timeout=10.0) -> ServiceClient:
+        return ServiceClient(f"http://127.0.0.1:{self.port}", timeout)
+
+    def stop(self) -> dict:
+        self.stopped = True
+        summary = asyncio.run_coroutine_threadsafe(
+            self.daemon.shutdown(), self.loop
+        ).result(timeout=60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        return summary
+
+
+def _config(tmp_path, **overrides) -> ServiceConfig:
+    fields = dict(
+        port=0,
+        state_dir=str(tmp_path / "state"),
+        engine_jobs=1,
+        point_timeout=30.0,
+        retries=0,
+        drain_seconds=30.0,
+        install_faults=str(tmp_path / "fault-state"),
+    )
+    fields.update(overrides)
+    return ServiceConfig(**fields)
+
+
+@pytest.fixture
+def harness(tmp_path):
+    harness = _Harness(_config(tmp_path)).start()
+    yield harness
+    if not harness.stopped:
+        harness.stop()
+    uninstall_fault_systems()
+
+
+def _simulate_payload(**overrides):
+    payload = {"kernel": "copy", "stride": 1, "elements": 64}
+    payload.update(overrides)
+    return payload
+
+
+_SLOW_GRID = {
+    "systems": ["fault-slow"],
+    "kernels": ["copy"],
+    "strides": [1, 2, 4, 8],
+    "elements": 64,
+}
+
+
+class TestEndpoints:
+    def test_health_ready_metrics(self, harness):
+        client = harness.client()
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["journal"]["closed"] is False
+        assert client.ready() is True
+        metrics = client.metrics()
+        assert set(metrics) >= {"engine", "queue", "breaker", "journal", "jobs"}
+        assert metrics["breaker"]["state"] == "closed"
+
+    def test_submit_runs_to_done(self, harness):
+        client = harness.client()
+        job = client.submit("simulate", _simulate_payload())
+        assert job["state"] in (JobState.QUEUED, JobState.RUNNING)
+        final = client.wait(job["id"], timeout=60.0)
+        assert final["state"] == JobState.DONE
+        assert final["result"]["cycles"][0] > 0
+        assert final["progress"]["points_done"] == 1
+        assert client.metrics()["engine"]["points"] >= 1
+
+    def test_jobs_listing_contains_submissions(self, harness):
+        client = harness.client()
+        job = client.submit("simulate", _simulate_payload())
+        assert job["id"] in {entry["id"] for entry in client.jobs()}
+
+    def test_unknown_job_is_404(self, harness):
+        client = harness.client()
+        with pytest.raises(JobNotFoundError):
+            client.status("no-such-job")
+        with pytest.raises(JobNotFoundError):
+            client.cancel("no-such-job")
+
+    def test_cancel_terminal_job_is_409(self, harness):
+        client = harness.client()
+        job = client.submit("simulate", _simulate_payload())
+        client.wait(job["id"], timeout=60.0)
+        with pytest.raises(JobStateError):
+            client.cancel(job["id"])
+
+    def test_bad_kind_is_400(self, harness):
+        client = harness.client()
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("fold-proteins", {})
+        assert "HTTP 400" in str(excinfo.value)
+
+    def test_cancel_running_job(self, harness):
+        client = harness.client()
+        job = client.submit("grid", _SLOW_GRID)
+        cancelled = client.cancel(job["id"])
+        assert cancelled["cancel_requested"] is True
+        final = client.wait(job["id"], timeout=60.0)
+        assert final["state"] == JobState.CANCELLED
+
+
+class TestRawHttp:
+    def _raw(self, harness, method, path, body=None):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", harness.port, timeout=10
+        )
+        try:
+            connection.request(method, path, body=body)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def test_malformed_json_body_is_400(self, harness):
+        status, body = self._raw(harness, "POST", "/jobs", b"{nope")
+        assert status == 400
+        assert b"JSON" in body
+
+    def test_non_object_body_is_400(self, harness):
+        status, _ = self._raw(harness, "POST", "/jobs", b'"a string"')
+        assert status == 400
+
+    def test_unknown_route_is_404(self, harness):
+        status, _ = self._raw(harness, "GET", "/no/such/route")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, harness):
+        status, _ = self._raw(harness, "POST", "/jobs/abc123")
+        assert status == 405
+
+    def test_responses_are_json(self, harness):
+        _, body = self._raw(harness, "GET", "/healthz")
+        assert isinstance(json.loads(body), dict)
+
+
+class TestAdmissionControl:
+    def test_tenant_quota_maps_to_429(self, tmp_path):
+        harness = _Harness(_config(tmp_path, tenant_quota=1)).start()
+        try:
+            client = harness.client()
+            client.submit("grid", _SLOW_GRID, tenant="alice")
+            with pytest.raises(QuotaExceededError):
+                client.submit(
+                    "simulate", _simulate_payload(), tenant="alice"
+                )
+            # Another tenant still gets in.
+            other = client.submit(
+                "simulate", _simulate_payload(), tenant="bob"
+            )
+            assert other["id"]
+            assert client.metrics()["engine"]["queue_rejected"] == 1
+        finally:
+            harness.stop()
+            uninstall_fault_systems()
+
+    def test_full_queue_maps_to_429_and_readyz_503(self, tmp_path):
+        harness = _Harness(_config(tmp_path, queue_depth=1)).start()
+        try:
+            client = harness.client()
+            first = client.submit("grid", _SLOW_GRID, tenant="a")
+            # Wait until the first job leaves the queue for its runner.
+            client.wait_ready(timeout=10)
+            deadline = 100
+            while client.status(first["id"])["state"] == JobState.QUEUED:
+                deadline -= 1
+                assert deadline > 0
+                import time
+
+                time.sleep(0.05)
+            client.submit("grid", _SLOW_GRID, tenant="b")  # fills depth 1
+            with pytest.raises(QueueFullError):
+                client.submit("simulate", _simulate_payload(), tenant="c")
+            assert client.ready() is False  # queue full => not ready
+        finally:
+            harness.stop()
+            uninstall_fault_systems()
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_and_compacts(self, tmp_path):
+        harness = _Harness(_config(tmp_path)).start()
+        uninstall = True
+        try:
+            client = harness.client()
+            job = client.submit("simulate", _simulate_payload())
+            client.wait(job["id"], timeout=60.0)
+            summary = harness.stop()
+            assert summary["interrupted"] == []
+            daemon_job = harness.daemon.supervisor.get(job["id"])
+            assert daemon_job.state == JobState.DONE
+            # Journal closed and compacted to the live registry.
+            assert harness.daemon.journal.closed
+            replay = JobJournal.replay(
+                harness.daemon.config.journal_path
+            )
+            assert replay.skipped == 0
+            assert replay.jobs[job["id"]]["state"] == JobState.DONE
+            # The socket is gone.
+            assert client.ready() is False
+        finally:
+            if uninstall:
+                uninstall_fault_systems()
+
+    def test_draining_daemon_rejects_submissions_with_503(self, tmp_path):
+        harness = _Harness(_config(tmp_path)).start()
+        try:
+            harness.daemon.accepting = False  # what shutdown() sets first
+            client = harness.client()
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit("simulate", _simulate_payload())
+            assert "HTTP 503" in str(excinfo.value)
+        finally:
+            harness.stop()
+            uninstall_fault_systems()
+
+
+class TestRestartRecovery:
+    def test_terminal_and_queued_jobs_survive_a_restart(self, tmp_path):
+        config = _config(tmp_path)
+        harness = _Harness(config).start()
+        client = harness.client()
+        done = client.submit("simulate", _simulate_payload())
+        client.wait(done["id"], timeout=60.0)
+        harness.stop()
+        uninstall_fault_systems()
+
+        # Second daemon on the same state directory.
+        harness = _Harness(_config(tmp_path)).start()
+        try:
+            client = harness.client()
+            replayed = client.status(done["id"])
+            assert replayed["state"] == JobState.DONE
+            assert replayed["result"]["cycles"][0] > 0
+        finally:
+            harness.stop()
+            uninstall_fault_systems()

@@ -1,0 +1,182 @@
+"""Write-ahead journal: durability, torn-tail tolerance, compaction."""
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.service.jobs import Job, JobSpec, JobState
+from repro.service.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JobJournal,
+    JournalReplay,
+)
+
+
+def _job(**overrides):
+    fields = dict(kind="simulate", payload={"kernel": "copy", "stride": 1})
+    fields.update(overrides)
+    return Job(JobSpec(**fields))
+
+
+@pytest.fixture
+def journal(tmp_path):
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    yield journal
+    journal.close()
+
+
+class TestRoundtrip:
+    def test_full_lifecycle_folds_back(self, journal):
+        job = _job()
+        journal.submit(job)
+        job.mark_running()
+        journal.start(job)
+        job.progress["points_done"] = 3
+        journal.progress(job)
+        job.mark_terminal(JobState.DONE, result={"cycles": [145]})
+        journal.end(job)
+
+        replay = JobJournal.replay(journal.path)
+        assert replay.skipped == 0
+        assert replay.records == 4
+        record = replay.jobs[job.id]
+        assert record["state"] == JobState.DONE
+        assert record["was_running"] is True
+        assert record["progress"]["points_done"] == 3
+        assert record["result"] == {"cycles": [145]}
+        assert record["spec"]["kind"] == "simulate"
+        assert replay.incomplete == []
+
+    def test_submit_without_end_is_incomplete(self, journal):
+        finished, lost = _job(), _job()
+        journal.submit(finished)
+        journal.submit(lost)
+        finished.mark_terminal(JobState.DONE)
+        journal.end(finished)
+        replay = JobJournal.replay(journal.path)
+        assert replay.incomplete == [lost.id]
+
+    def test_cancel_record_restores_the_request(self, journal):
+        job = _job()
+        journal.submit(job)
+        journal.cancel(job.id)
+        replay = JobJournal.replay(journal.path)
+        assert replay.jobs[job.id]["cancel_requested"] is True
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        replay = JobJournal.replay(tmp_path / "never-written.jsonl")
+        assert replay.jobs == {}
+        assert replay.incomplete == []
+
+
+class TestCorruptionTolerance:
+    def test_torn_final_line_is_skipped_not_fatal(self, journal):
+        job = _job()
+        journal.submit(job)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema_version": 1, "type": "end", "jo')
+        replay = JobJournal.replay(journal.path)
+        assert replay.skipped == 1
+        assert replay.jobs[job.id]["state"] == JobState.QUEUED
+
+    def test_wrong_schema_version_is_counted_separately(self, journal):
+        job = _job()
+        journal.submit(job)
+        alien = {
+            "schema_version": JOURNAL_SCHEMA_VERSION + 1,
+            "type": "end",
+            "job_id": job.id,
+            "state": JobState.DONE,
+        }
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(alien) + "\n")
+        replay = JobJournal.replay(journal.path)
+        assert replay.version_skipped == 1
+        # The alien terminal record was NOT folded in.
+        assert replay.jobs[job.id]["state"] == JobState.QUEUED
+
+    def test_record_for_unknown_job_is_skipped(self, journal):
+        journal.cancel("never-submitted")
+        replay = JobJournal.replay(journal.path)
+        assert replay.skipped == 1
+        assert replay.jobs == {}
+
+    def test_non_terminal_end_state_is_skipped(self, journal):
+        job = _job()
+        journal.submit(job)
+        journal.record("end", job.id, state="exploded")
+        replay = JobJournal.replay(journal.path)
+        assert replay.jobs[job.id]["state"] == JobState.QUEUED
+        assert replay.skipped == 1
+
+    def test_every_record_is_version_stamped(self, journal):
+        journal.submit(_job())
+        journal.cancel("x")
+        for line in journal.path.read_text().splitlines():
+            assert (
+                json.loads(line)["schema_version"]
+                == JOURNAL_SCHEMA_VERSION
+            )
+
+
+class TestClosedJournal:
+    def test_record_after_close_raises(self, journal):
+        journal.close()
+        assert journal.closed
+        with pytest.raises(JournalError):
+            journal.submit(_job())
+
+    def test_close_is_idempotent(self, journal):
+        journal.close()
+        journal.close()
+
+
+class TestCompaction:
+    def test_compact_drops_chatter_keeps_outcomes(self, journal):
+        done, live, cancelled = _job(), _job(), _job()
+        for job in (done, live, cancelled):
+            journal.submit(job)
+        done.mark_running()
+        journal.start(done)
+        for _ in range(10):
+            journal.progress(done)
+        done.mark_terminal(JobState.DONE, result={"cycles": [1]})
+        journal.end(done)
+        cancelled.request_cancel()
+        journal.cancel(cancelled.id)
+
+        written = journal.compact([done, live, cancelled])
+        # submit x3 + end(done) + cancel(cancelled)
+        assert written == 5
+        assert len(journal.path.read_text().splitlines()) == 5
+
+        replay = JobJournal.replay(journal.path)
+        assert replay.jobs[done.id]["state"] == JobState.DONE
+        assert replay.jobs[done.id]["result"] == {"cycles": [1]}
+        assert replay.jobs[live.id]["state"] == JobState.QUEUED
+        assert replay.jobs[cancelled.id]["cancel_requested"] is True
+        assert replay.incomplete == [live.id, cancelled.id]
+
+    def test_journal_stays_appendable_after_compact(self, journal):
+        job = _job()
+        journal.submit(job)
+        journal.compact([job])
+        late = _job()
+        journal.submit(late)
+        replay = JobJournal.replay(journal.path)
+        assert set(replay.jobs) == {job.id, late.id}
+
+    def test_compact_of_closed_journal_leaves_it_closed(self, journal):
+        job = _job()
+        journal.submit(job)
+        journal.close()
+        journal.compact([job])
+        assert journal.closed
+        assert JobJournal.replay(journal.path).jobs[job.id]
+
+
+def test_replay_dataclass_defaults():
+    replay = JournalReplay()
+    assert replay.records == 0
+    assert replay.incomplete == []

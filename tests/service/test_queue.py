@@ -1,0 +1,113 @@
+"""Admission queue: depth bound, tenant quotas, claim semantics."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    QueueFullError,
+    QuotaExceededError,
+)
+from repro.service.jobs import Job, JobSpec, JobState
+from repro.service.queue import AdmissionQueue
+
+
+def _job(tenant="default"):
+    return Job(
+        JobSpec(kind="simulate", payload={"kernel": "copy"}, tenant=tenant)
+    )
+
+
+class TestAdmission:
+    def test_fifo_claim_order(self):
+        queue = AdmissionQueue()
+        first, second = _job(), _job()
+        queue.submit(first)
+        queue.submit(second)
+        assert queue.claim_next() is first
+        assert queue.claim_next() is second
+        assert queue.claim_next() is None
+
+    def test_depth_bound_rejects_fast(self):
+        queue = AdmissionQueue(max_depth=2)
+        queue.submit(_job("a"))
+        queue.submit(_job("b"))
+        with pytest.raises(QueueFullError):
+            queue.submit(_job("c"))
+        assert queue.rejected_full == 1
+        assert queue.rejected == 1
+
+    def test_tenant_quota_counts_queued_and_running(self):
+        queue = AdmissionQueue(tenant_quota=2)
+        queue.submit(_job("alice"))
+        second = _job("alice")
+        queue.submit(second)
+        with pytest.raises(QuotaExceededError):
+            queue.submit(_job("alice"))
+        assert queue.rejected_quota == 1
+        # Another tenant is unaffected.
+        queue.submit(_job("bob"))
+        # Claiming (job starts running) does NOT free the slot ...
+        assert queue.claim_next() is not None
+        with pytest.raises(QuotaExceededError):
+            queue.submit(_job("alice"))
+        # ... releasing (terminal state) does.
+        queue.release(second)
+        queue.submit(_job("alice"))
+
+    def test_recovered_jobs_bypass_quota_not_depth(self):
+        queue = AdmissionQueue(max_depth=3, tenant_quota=1)
+        queue.submit(_job("alice"))
+        queue.submit(_job("alice"), count_quota=False)
+        queue.submit(_job("alice"), count_quota=False)
+        with pytest.raises(QueueFullError):
+            queue.submit(_job("alice"), count_quota=False)
+
+    def test_admitted_counter(self):
+        queue = AdmissionQueue()
+        queue.submit(_job())
+        queue.submit(_job())
+        assert queue.admitted == 2
+
+
+class TestClaim:
+    def test_terminal_jobs_are_skipped(self):
+        queue = AdmissionQueue()
+        dead, live = _job(), _job()
+        queue.submit(dead)
+        queue.submit(live)
+        dead.mark_terminal(JobState.CANCELLED)
+        assert queue.claim_next() is live
+
+    def test_cancel_requested_jobs_are_still_claimed(self):
+        # The runner owns turning a cancel request into a terminal
+        # state; dropping the job here would lose it silently.
+        queue = AdmissionQueue()
+        job = _job()
+        queue.submit(job)
+        job.request_cancel()
+        assert queue.claim_next() is job
+
+    def test_remove_drops_a_specific_job(self):
+        queue = AdmissionQueue()
+        job = _job()
+        queue.submit(job)
+        assert queue.remove(job) is True
+        assert queue.remove(job) is False
+        assert queue.depth == 0
+
+
+class TestValidationAndIntrospection:
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(tenant_quota=0)
+
+    def test_describe_snapshot(self):
+        queue = AdmissionQueue(max_depth=5, tenant_quota=2)
+        queue.submit(_job("alice"))
+        snapshot = queue.describe()
+        assert snapshot["depth"] == 1
+        assert snapshot["max_depth"] == 5
+        assert snapshot["active_by_tenant"] == {"alice": 1}
+        assert snapshot["admitted"] == 1

@@ -1,0 +1,208 @@
+"""Shutdown paths: SIGTERM/SIGINT against a real daemon subprocess.
+
+The invariants under test: a signalled daemon exits 0 with no orphaned
+pool processes, the journal is left consistent (no partial records),
+interrupted jobs are requeued — not lost, not half-finished — and a
+restarted daemon resumes them from the result cache.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.chaos import _client_for
+from repro.service.jobs import JobState
+from repro.service.journal import JobJournal
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+_SLOW_GRID = {
+    "systems": ["fault-slow"],
+    "kernels": ["copy"],
+    "strides": [1, 2, 4, 8],
+    "elements": 64,
+}
+
+
+def _spawn(tmp_path, *, drain_seconds: float) -> subprocess.Popen:
+    port_file = tmp_path / "port"
+    if port_file.exists():
+        port_file.unlink()
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(SRC)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--state-dir",
+            str(tmp_path / "state"),
+            "--jobs",
+            "2",
+            "--timeout",
+            "30",
+            "--retries",
+            "0",
+            "--drain-seconds",
+            str(drain_seconds),
+            "--install-faults",
+            str(tmp_path / "fault-state"),
+        ],
+        env=environment,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _children_of(pid: int):
+    """Live pids whose parent is ``pid`` (pool workers, mostly)."""
+    children = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            stat = (entry / "stat").read_text()
+        except OSError:
+            continue
+        ppid = int(stat.rsplit(")", 1)[1].split()[1])
+        if ppid == pid:
+            children.append(int(entry.name))
+    return children
+
+
+def _assert_all_dead(pids, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        alive = []
+        for pid in pids:
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                continue
+            alive.append(pid)
+        if not alive:
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"orphaned processes survived shutdown: {alive}")
+
+
+def _no_partial_cache_entries(state_dir: Path):
+    cache = state_dir / "cache"
+    if not cache.exists():
+        return
+    leftovers = list(cache.glob("*/.tmp-*"))
+    assert leftovers == [], f"partial cache writes left behind: {leftovers}"
+
+
+def _wait_for_progress(client, job_id, minimum=1, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = client.status(job_id)
+        if job["progress"]["points_done"] >= minimum:
+            return job
+        if job["state"] in (JobState.DONE, JobState.FAILED):
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} made no progress in {timeout}s")
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_mid_batch_drains_cleanly_and_resumes(tmp_path, signum):
+    daemon = _spawn(tmp_path, drain_seconds=0.2)
+    job_id = None
+    try:
+        client = _client_for(tmp_path / "port")
+        job_id = client.submit("grid", _SLOW_GRID)["id"]
+        _wait_for_progress(client, job_id)
+
+        workers = _children_of(daemon.pid)
+        daemon.send_signal(signum)
+        assert daemon.wait(timeout=30) == 0  # clean exit, not a crash
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+    # No orphaned pool processes survive the daemon.
+    _assert_all_dead(workers)
+    # No partial cache entries: every write was atomic.
+    _no_partial_cache_entries(tmp_path / "state")
+    # The journal is consistent — compacted, fully parseable, and the
+    # interrupted job is incomplete (requeued), not lost or torn.
+    replay = JobJournal.replay(tmp_path / "state" / "journal.jsonl")
+    assert replay.skipped == 0
+    assert job_id in replay.jobs
+    record = replay.jobs[job_id]
+    assert record["state"] == JobState.QUEUED
+    assert replay.incomplete == [job_id]
+
+    # A restarted daemon resumes it from the cache to a terminal state.
+    daemon = _spawn(tmp_path, drain_seconds=30.0)
+    try:
+        client = _client_for(tmp_path / "port")
+        final = client.wait(job_id, timeout=60.0)
+        assert final["state"] == JobState.DONE
+        assert final["recovered"] is True
+        assert len(final["result"]["cycles"]) == 4
+        assert all(count > 0 for count in final["result"]["cycles"])
+        # The pre-signal points replayed from the cache.
+        assert final["progress"]["cache_hits"] >= 1
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            assert daemon.wait(timeout=30) == 0
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+
+def test_idle_daemon_sigterm_exits_zero_with_closed_journal(tmp_path):
+    daemon = _spawn(tmp_path, drain_seconds=5.0)
+    try:
+        client = _client_for(tmp_path / "port")
+        assert client.ready()
+        daemon.send_signal(signal.SIGTERM)
+        assert daemon.wait(timeout=30) == 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+    replay = JobJournal.replay(tmp_path / "state" / "journal.jsonl")
+    assert replay.skipped == 0
+    assert replay.jobs == {}
+
+
+def test_keyboard_interrupt_fallback_still_drains(tmp_path, monkeypatch):
+    """If signal handlers could not be installed, a raw
+    KeyboardInterrupt out of the loop must still drain and close the
+    journal (the ``run()`` fallback path)."""
+    from repro.service.daemon import ServiceConfig, ServiceDaemon
+
+    daemon = ServiceDaemon(
+        ServiceConfig(port=0, state_dir=str(tmp_path / "state"))
+    )
+    job = daemon.supervisor.submit(
+        __import__(
+            "repro.service.jobs", fromlist=["JobSpec"]
+        ).JobSpec(kind="simulate", payload={"kernel": "copy", "elements": 64})
+    )
+
+    async def interrupted(self):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(ServiceDaemon, "run_async", interrupted)
+    assert daemon.run() == 0
+    assert daemon.journal.closed
+    replay = JobJournal.replay(daemon.config.journal_path)
+    assert replay.skipped == 0
+    assert replay.incomplete == [job.id]  # queued job survives for resume

@@ -1,0 +1,303 @@
+"""Supervisor: queue -> engine -> terminal states, recovery, drain."""
+
+import time
+
+import pytest
+
+from repro.engine import CircuitBreaker
+from repro.faults import install_fault_systems, uninstall_fault_systems
+from repro.service.jobs import JobSpec, JobState
+from repro.service.journal import JobJournal
+from repro.service.queue import AdmissionQueue
+from repro.service.supervisor import Supervisor
+
+
+def _make(tmp_path, **overrides):
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    queue = AdmissionQueue(
+        max_depth=overrides.pop("max_depth", 16),
+        tenant_quota=overrides.pop("tenant_quota", 8),
+    )
+    fields = dict(
+        queue=queue,
+        journal=journal,
+        cache_dir=tmp_path / "cache",
+        engine_jobs=1,  # inline: fast and deterministic for unit tests
+        concurrency=1,
+        point_timeout=30.0,
+        retries=0,
+    )
+    fields.update(overrides)
+    return Supervisor(**fields)
+
+
+def _run_to_terminal(supervisor, job, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while not job.terminal:
+        supervisor.dispatch()
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"job {job.id} still {job.state} after {timeout}s"
+            )
+        time.sleep(0.02)
+    return job
+
+
+def _spec(kind="simulate", payload=None, **fields):
+    return JobSpec(
+        kind=kind,
+        payload=payload
+        or {"kernel": "copy", "stride": 1, "elements": 64},
+        **fields,
+    )
+
+
+@pytest.fixture
+def faults(tmp_path):
+    names = install_fault_systems(state_dir=tmp_path / "fault-state")
+    yield names
+    uninstall_fault_systems()
+
+
+class TestHappyPath:
+    def test_simulate_job_runs_to_done(self, tmp_path):
+        supervisor = _make(tmp_path)
+        job = supervisor.submit(_spec())
+        _run_to_terminal(supervisor, job)
+        assert job.state == JobState.DONE
+        assert job.result["points"] == 1
+        assert job.result["cycles"][0] > 0
+        assert job.progress["points_done"] == 1
+        # The exit gate journaled the terminal state.
+        replay = JobJournal.replay(supervisor.journal.path)
+        assert replay.jobs[job.id]["state"] == JobState.DONE
+
+    def test_submit_journals_before_returning(self, tmp_path):
+        supervisor = _make(tmp_path)
+        job = supervisor.submit(_spec())
+        replay = JobJournal.replay(supervisor.journal.path)
+        assert job.id in replay.jobs  # WAL: accepted => durable
+
+    def test_second_run_hits_the_shared_cache(self, tmp_path):
+        supervisor = _make(tmp_path)
+        first = _run_to_terminal(supervisor, supervisor.submit(_spec()))
+        second = _run_to_terminal(supervisor, supervisor.submit(_spec()))
+        assert second.result["cycles"] == first.result["cycles"]
+        assert second.progress["cache_hits"] == 1
+        assert supervisor.metrics.cache_hits >= 1
+
+    def test_grid_job_reports_every_point(self, tmp_path):
+        supervisor = _make(tmp_path)
+        job = supervisor.submit(
+            _spec(
+                kind="grid",
+                payload={
+                    "systems": ["pva-sdram"],
+                    "kernels": ["copy", "scale"],
+                    "strides": [1, 4],
+                    "elements": 64,
+                },
+            )
+        )
+        _run_to_terminal(supervisor, job)
+        assert job.state == JobState.DONE
+        assert len(job.result["cycles"]) == 4
+        assert all(count > 0 for count in job.result["cycles"])
+
+
+class TestFailurePaths:
+    def test_raising_point_fails_the_job_terminally(
+        self, tmp_path, faults
+    ):
+        supervisor = _make(tmp_path)
+        job = supervisor.submit(
+            _spec(payload={"system": faults["raising"], "kernel": "copy"})
+        )
+        _run_to_terminal(supervisor, job)
+        assert job.state == JobState.FAILED
+        assert "InjectedFault" in job.result["failures"][0]
+        assert job.progress["failures"] == 1
+
+    def test_unknown_system_fails_not_crashes(self, tmp_path):
+        supervisor = _make(tmp_path)
+        job = supervisor.submit(
+            _spec(payload={"system": "no-such-system", "kernel": "copy"})
+        )
+        _run_to_terminal(supervisor, job)
+        assert job.state == JobState.FAILED
+
+    def test_deadline_aborts_between_points(self, tmp_path, faults):
+        supervisor = _make(tmp_path)
+        job = supervisor.submit(
+            _spec(
+                kind="grid",
+                payload={
+                    "systems": [faults["slow"]],
+                    "kernels": ["copy"],
+                    "strides": [1, 2, 4],
+                    "elements": 64,
+                },
+                deadline_seconds=0.3,
+            )
+        )
+        _run_to_terminal(supervisor, job)
+        assert job.state == JobState.FAILED
+        assert "deadline" in job.error
+        # The abort fired between points, not after all three.
+        assert job.progress["points_done"] < 3
+
+
+class TestCancellation:
+    def test_cancel_queued_job_is_immediate(self, tmp_path):
+        supervisor = _make(tmp_path)
+        job = supervisor.submit(_spec())
+        supervisor.cancel(job.id)  # no dispatch() ran yet
+        assert job.state == JobState.CANCELLED
+        replay = JobJournal.replay(supervisor.journal.path)
+        assert replay.jobs[job.id]["state"] == JobState.CANCELLED
+
+    def test_cancel_running_job_stops_at_point_boundary(
+        self, tmp_path, faults
+    ):
+        supervisor = _make(tmp_path)
+        job = supervisor.submit(
+            _spec(
+                kind="grid",
+                payload={
+                    "systems": [faults["slow"]],
+                    "kernels": ["copy"],
+                    "strides": [1, 2, 4, 8],
+                    "elements": 64,
+                },
+            )
+        )
+        supervisor.dispatch()
+        deadline = time.monotonic() + 10
+        while job.state != JobState.RUNNING:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        supervisor.cancel(job.id)
+        _run_to_terminal(supervisor, job)
+        assert job.state == JobState.CANCELLED
+        assert job.progress["points_done"] < 4
+
+    def test_cancel_terminal_job_raises(self, tmp_path):
+        from repro.errors import JobStateError
+
+        supervisor = _make(tmp_path)
+        job = _run_to_terminal(supervisor, supervisor.submit(_spec()))
+        with pytest.raises(JobStateError):
+            supervisor.cancel(job.id)
+
+    def test_unknown_job_raises(self, tmp_path):
+        from repro.errors import JobNotFoundError
+
+        supervisor = _make(tmp_path)
+        with pytest.raises(JobNotFoundError):
+            supervisor.get("nope")
+        with pytest.raises(JobNotFoundError):
+            supervisor.cancel("nope")
+
+
+class TestRecovery:
+    def test_incomplete_jobs_resume_and_reuse_the_cache(self, tmp_path):
+        first = _make(tmp_path)
+        done = _run_to_terminal(first, first.submit(_spec()))
+        # A job that was accepted but never ran — the "crash" leaves
+        # only its submit record behind.
+        lost = first.submit(
+            _spec(payload={"kernel": "copy", "stride": 1, "elements": 64})
+        )
+        first.journal.close()  # simulate process death (no end record)
+
+        replay = JobJournal.replay(first.journal.path)
+        second = _make(tmp_path / "fresh-state", cache_dir=tmp_path / "cache")
+        resumed = second.recover(replay)
+        assert [job.id for job in resumed] == [lost.id]
+        assert second.metrics.journal_replayed == 1
+        # The finished job is queryable in its terminal state.
+        assert second.get(done.id).state == JobState.DONE
+        assert second.get(done.id).result == done.result
+
+        resumed_job = second.get(lost.id)
+        assert resumed_job.recovered
+        _run_to_terminal(second, resumed_job)
+        assert resumed_job.state == JobState.DONE
+        # Same spec as `done` => every point replays from the cache.
+        assert resumed_job.progress["cache_hits"] == 1
+
+    def test_recovered_cancel_request_is_honoured(self, tmp_path):
+        first = _make(tmp_path)
+        job = first.submit(_spec())
+        first.journal.cancel(job.id)
+        first.journal.close()
+
+        replay = JobJournal.replay(first.journal.path)
+        second = _make(
+            tmp_path / "fresh-state", cache_dir=tmp_path / "cache"
+        )
+        second.recover(replay)
+        resumed = second.get(job.id)
+        _run_to_terminal(second, resumed)
+        assert resumed.state == JobState.CANCELLED
+
+
+class TestDrain:
+    def test_drain_requeues_stragglers_for_resume(self, tmp_path, faults):
+        supervisor = _make(tmp_path)
+        job = supervisor.submit(
+            _spec(
+                kind="grid",
+                payload={
+                    "systems": [faults["slow"]],
+                    "kernels": ["copy"],
+                    "strides": [1, 2, 4, 8],
+                    "elements": 64,
+                },
+            )
+        )
+        supervisor.dispatch()
+        deadline = time.monotonic() + 10
+        while job.progress["points_done"] < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        summary = supervisor.drain(timeout=0.05, grace=10.0)
+        assert summary["interrupted"] == [job.id]
+        # Not terminal: the journal's submit record keeps it alive for
+        # the next daemon start.
+        assert job.state == JobState.QUEUED
+        assert JobJournal.replay(
+            supervisor.journal.path
+        ).incomplete == [job.id]
+        # Completed points were cached before the abort.
+        assert supervisor.cache.quarantined == 0
+        assert len(supervisor.cache) >= 1
+
+    def test_drain_waits_for_fast_jobs(self, tmp_path):
+        supervisor = _make(tmp_path)
+        job = supervisor.submit(_spec())
+        supervisor.dispatch()
+        summary = supervisor.drain(timeout=30.0)
+        assert job.state == JobState.DONE
+        assert summary["interrupted"] == []
+
+    def test_draining_supervisor_rejects_submissions(self, tmp_path):
+        from repro.errors import QueueFullError
+
+        supervisor = _make(tmp_path)
+        supervisor.drain(timeout=0.01)
+        with pytest.raises(QueueFullError):
+            supervisor.submit(_spec())
+        assert supervisor.metrics.queue_rejected == 1
+
+
+class TestBreaker:
+    def test_open_breaker_forces_inline_execution(self, tmp_path):
+        breaker = CircuitBreaker(threshold=1, cooldown_seconds=3600)
+        breaker.record_incident()  # trip it
+        assert breaker.state == CircuitBreaker.OPEN
+        supervisor = _make(tmp_path, engine_jobs=4, breaker=breaker)
+        job = _run_to_terminal(supervisor, supervisor.submit(_spec()))
+        assert job.state == JobState.DONE
+        # Inline execution (jobs=1) folded into the service metrics.
+        assert supervisor.metrics.breaker_trips == 1
