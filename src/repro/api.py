@@ -54,19 +54,22 @@ __all__ = [
 def clear_caches() -> None:
     """Release every process-wide simulation memo.
 
-    Two live today: the compiled FirstHit PLAs
-    (:func:`repro.core.pla.shared_k1_pla`) and the broadcast-time hit
-    schedules (:mod:`repro.pva.schedule`).  Both are pure value caches —
-    dropping them can never change results, only cost the next call a
-    recompute — so this is safe at any point.  The experiment engine
-    calls it when a worker pool shuts down, bounding memory growth of
-    long-lived sweep processes.
+    Three live today: the compiled FirstHit PLAs
+    (:func:`repro.core.pla.shared_k1_pla`), the broadcast-time hit
+    schedules (:mod:`repro.pva.schedule`), and the structure-of-arrays
+    broadcast tables (:func:`repro.pva.soa.broadcast_schedules`).  All
+    are pure value caches — dropping them can never change results, only
+    cost the next call a recompute — so this is safe at any point.  The
+    experiment engine calls it when a worker pool shuts down, bounding
+    memory growth of long-lived sweep processes.
     """
     from repro.core.pla import shared_k1_pla
     from repro.pva.schedule import clear_schedule_cache
+    from repro.pva.soa import clear_soa_cache
 
     shared_k1_pla.cache_clear()
     clear_schedule_cache()
+    clear_soa_cache()
 
 
 @dataclass(frozen=True)

@@ -19,8 +19,17 @@ Methodology notes:
   construction plus simulation, the same work either run loop does;
 * each (system, mode) measurement is repeated ``repeats`` times and the
   **best** wall time is kept (the usual minimum-of-N noise filter);
-* the ``REPRO_TIME_SKIP`` environment override is suspended for the
-  duration so the two modes really are what they claim to be.
+* the ``REPRO_TIME_SKIP`` and ``REPRO_SIM_MODE`` environment overrides
+  are suspended for the duration so the modes really are what they
+  claim to be.
+
+Two kinds of baseline appear in the report.  *Measured* rates come from
+this run, on this machine.  *Recorded* rates are constants frozen into
+this module from the ``BENCH_sim.json`` of the run that preceded an
+optimization layer — the denominators CI gates hold speedups against.
+Both are reported side by side so a stale recorded constant is visible
+as a recorded-vs-measured gap instead of silently inflating (or
+deflating) ``speedup_vs_baseline`` on faster or slower hardware.
 """
 
 from __future__ import annotations
@@ -37,7 +46,7 @@ from repro.api import available_systems, build_system
 from repro.errors import ConfigurationError
 from repro.experiments.grid import EVAL_KERNELS
 from repro.kernels import ALIGNMENTS, build_trace, kernel_by_name
-from repro.params import SystemParams
+from repro.params import ENV_SIM_MODE, SystemParams
 from repro.sim.events import ENV_TOGGLE
 
 __all__ = ["HEADLINE_STRIDE", "run_bench", "format_bench", "main"]
@@ -50,6 +59,12 @@ HEADLINE_STRIDE = 19
 #: landed — the reference point for ``--min-precompute-speedup``, which
 #: fails CI when the fast path regresses below a multiple of it.
 BASELINE_TICK_CYCLES_PER_SECOND = 18099.8
+
+#: pva-sdram dense stride-19 cycles/second recorded in BENCH_sim.json
+#: immediately before the structure-of-arrays bank automaton landed —
+#: the reference point for ``--min-soa-speedup``.  (ROADMAP.md quotes
+#: the same figure as "~38.6k cycles/sec".)
+BASELINE_DENSE_CYCLES_PER_SECOND = 38600.0
 
 #: ``--quick`` workload (CI smoke): two kernels, one alignment.
 QUICK_KERNELS = ("copy", "saxpy")
@@ -122,17 +137,21 @@ def run_bench(
     disagree on any system's total cycle count or attribution ledger,
     or if any run's ledger fails to sum to its cycle count.
     """
-    base = params or SystemParams()
-    tick_params = replace(base, time_skip=False)
-    skip_params = replace(base, time_skip=True)
     names = tuple(systems) if systems else available_systems()
     unknown = set(names) - set(available_systems())
     if unknown:
         raise ConfigurationError(f"unknown system(s): {sorted(unknown)}")
     cases = _cases(quick)
 
+    # Suspend the environment overrides *before* building any params —
+    # a forced global mode must not warp the backend matrix each
+    # section claims to time.
     saved_env = os.environ.pop(ENV_TOGGLE, None)
+    saved_mode_env = os.environ.pop(ENV_SIM_MODE, None)
     try:
+        base = params or SystemParams()
+        tick_params = replace(base, time_skip=False)
+        skip_params = replace(base, time_skip=True)
         report: Dict = {
             "benchmark": "tick-vs-skip",
             "stride": stride,
@@ -316,17 +335,98 @@ def run_bench(
                 "speedup": round(inc["seconds"] / pre["seconds"], 3)
                 if pre["seconds"] > 0
                 else 0.0,
+                # Recorded vs measured baseline, side by side: the
+                # recorded constant is the CI gate's denominator; the
+                # measured incremental rate is the same backend timed in
+                # this run, so a stale constant shows up as a gap here
+                # instead of silently skewing speedup_vs_baseline.
                 "baseline_tick_cycles_per_second": (
                     BASELINE_TICK_CYCLES_PER_SECOND
                 ),
+                "measured_tick_cycles_per_second": round(
+                    inc["cycles"] / inc["seconds"], 1
+                )
+                if inc["seconds"] > 0
+                else 0.0,
                 "speedup_vs_baseline": round(
                     pre_rate / BASELINE_TICK_CYCLES_PER_SECOND, 3
                 ),
+            }
+
+        # Quaternary scenario: the structure-of-arrays bank automaton
+        # (sim_mode="soa") against the same dense slice.  The main
+        # section's pva-sdram entry already cross-checked tick against
+        # skip; here the SoA run must reproduce the *tick* loop's cycle
+        # count and per-component attribution ledger exactly — three
+        # backends, one answer.
+        if "pva-sdram" in names:
+            # Reset the legacy aliases so the mode's own aspects win
+            # even when the caller's base pinned them.
+            soa_params = replace(
+                base, sim_mode="soa", time_skip=None, precompute=None
+            )
+            traces = [
+                build_trace(
+                    kernel_by_name(kernel),
+                    stride=stride,
+                    params=soa_params,
+                    elements=elements,
+                    alignment=alignment,
+                )
+                for kernel, alignment in cases
+            ]
+            soa = _time_mode("pva-sdram", soa_params, traces, repeats)
+            dense = report["systems"]["pva-sdram"]
+            if soa["cycles"] != dense["simulated_cycles"]:
+                raise ConfigurationError(
+                    "pva-sdram: sim_mode='soa' disagrees with the tick "
+                    f"loop on total cycles ({soa['cycles']} vs "
+                    f"{dense['simulated_cycles']}) — the bank automaton "
+                    "is broken; refusing to benchmark it"
+                )
+            if soa["attribution"] != dense["attribution"]:
+                raise ConfigurationError(
+                    "pva-sdram: sim_mode='soa' disagrees with the tick "
+                    "loop on the per-component attribution ledger"
+                )
+            soa_rate = (
+                soa["cycles"] / soa["seconds"] if soa["seconds"] > 0 else 0.0
+            )
+            measured_pre = dense["skip_cycles_per_second"]
+            report["soa"] = {
+                "system": "pva-sdram",
+                "simulated_cycles": soa["cycles"],
+                "soa_seconds": round(soa["seconds"], 4),
+                "soa_cycles_per_second": round(soa_rate, 1),
+                # Recorded vs measured baseline, as in the precompute
+                # section: the recorded dense rate is the CI gate's
+                # denominator; the measured rate is this run's
+                # precompute backend (the dense slice's skip timing).
+                "baseline_recorded_cycles_per_second": (
+                    BASELINE_DENSE_CYCLES_PER_SECOND
+                ),
+                "baseline_measured_cycles_per_second": measured_pre,
+                "speedup_vs_recorded_baseline": round(
+                    soa_rate / BASELINE_DENSE_CYCLES_PER_SECOND, 3
+                ),
+                "speedup_vs_measured_precompute": round(
+                    soa_rate / measured_pre, 3
+                )
+                if measured_pre > 0
+                else 0.0,
+                "attribution": {
+                    component: dict(buckets)
+                    for component, buckets in sorted(
+                        soa["attribution"].items()
+                    )
+                },
             }
         return report
     finally:
         if saved_env is not None:
             os.environ[ENV_TOGGLE] = saved_env
+        if saved_mode_env is not None:
+            os.environ[ENV_SIM_MODE] = saved_mode_env
 
 
 def format_bench(report: Dict) -> str:
@@ -380,7 +480,26 @@ def format_bench(report: Dict) -> str:
             f"({pre['precompute_cycles_per_second'] / 1000.0:.0f}k cyc/s), "
             f"incremental {pre['incremental_seconds']:.2f}s — "
             f"speedup {pre['speedup']:.2f}x vs incremental, "
-            f"{pre['speedup_vs_baseline']:.2f}x vs recorded baseline"
+            f"{pre['speedup_vs_baseline']:.2f}x vs recorded baseline "
+            f"({pre['baseline_tick_cycles_per_second'] / 1000.0:.1f}k "
+            f"recorded, "
+            f"{pre['measured_tick_cycles_per_second'] / 1000.0:.1f}k "
+            f"measured)"
+        )
+    soa = report.get("soa")
+    if soa:
+        summary += (
+            f"\nSoA bank automaton ({soa['system']}): "
+            f"{soa['soa_seconds']:.2f}s "
+            f"({soa['soa_cycles_per_second'] / 1000.0:.0f}k cyc/s) — "
+            f"{soa['speedup_vs_recorded_baseline']:.2f}x vs recorded "
+            f"baseline "
+            f"({soa['baseline_recorded_cycles_per_second'] / 1000.0:.1f}k "
+            f"recorded, "
+            f"{soa['baseline_measured_cycles_per_second'] / 1000.0:.1f}k "
+            f"measured precompute), "
+            f"{soa['speedup_vs_measured_precompute']:.2f}x vs measured "
+            f"precompute"
         )
     return f"{table}\n{summary}"
 
@@ -427,6 +546,26 @@ def main(args: argparse.Namespace) -> int:
                 f"{pre['speedup_vs_baseline']:.3f}x the recorded baseline "
                 f"({BASELINE_TICK_CYCLES_PER_SECOND:.0f} cyc/s); required "
                 f"{min_pre:.3f}x",
+                file=sys.stderr,
+            )
+            return 1
+    min_soa = getattr(args, "min_soa_speedup", None)
+    if min_soa is not None:
+        soa = report.get("soa")
+        if soa is None:
+            print(
+                "error: --min-soa-speedup given but the workload did not "
+                "include the pva-sdram SoA section",
+                file=sys.stderr,
+            )
+            return 1
+        if soa["speedup_vs_recorded_baseline"] < min_soa:
+            print(
+                f"error: SoA rate {soa['soa_cycles_per_second']:.0f} cyc/s "
+                f"is only {soa['speedup_vs_recorded_baseline']:.3f}x the "
+                f"recorded dense baseline "
+                f"({BASELINE_DENSE_CYCLES_PER_SECOND:.0f} cyc/s); required "
+                f"{min_soa:.3f}x",
                 file=sys.stderr,
             )
             return 1

@@ -357,6 +357,17 @@ def build_parser() -> argparse.ArgumentParser:
             "pre-precompute baseline"
         ),
     )
+    bench_parser.add_argument(
+        "--min-soa-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "exit non-zero unless the structure-of-arrays bank "
+            "automaton's dense-slice rate is at least X times the "
+            "recorded pre-SoA baseline"
+        ),
+    )
 
     sweep_parser = sub.add_parser(
         "sweep", help="dense stride sweep on one kernel"

@@ -41,10 +41,12 @@ __all__ = ["ResultCache", "SCHEMA_VERSION"]
 
 #: Document-format version stamped into every stored entry.  Bumped when
 #: the stored fields change meaning (version 2: point keys canonicalize
-#: the ``precompute`` system parameter).  Entries stamped differently —
-#: or not at all — are recomputed rather than reinterpreted, even if a
-#: key collision ever served one across versions.
-SCHEMA_VERSION = 2
+#: the ``precompute`` system parameter; version 3: keys canonicalize the
+#: resolved ``sim_mode`` label and documents record the producing mode).
+#: Entries stamped differently — or not at all — are recomputed rather
+#: than reinterpreted, even if a key collision ever served one across
+#: versions.
+SCHEMA_VERSION = 3
 
 
 def _valid_document(document) -> bool:

@@ -325,6 +325,7 @@ class ExperimentEngine:
                                 "cycles": cycles,
                                 "sim_seconds": seconds,
                                 "attribution": attribution,
+                                "sim_mode": point.params.sim_mode,
                                 "point": point.describe(),
                             },
                         )
@@ -553,9 +554,10 @@ class ExperimentEngine:
             pool.terminate()
             pool.join()
             # Worker teardown: drop the process-wide simulation memos
-            # (PLA tables, hit schedules) the batch grew in this parent
-            # process — sweeps touch many geometries and vectors, and
-            # nothing between batches needs the warm entries.
+            # (PLA tables, hit schedules, SoA broadcast tables) the
+            # batch grew in this parent process — sweeps touch many
+            # geometries and vectors, and nothing between batches needs
+            # the warm entries.
             from repro.api import clear_caches
 
             clear_caches()

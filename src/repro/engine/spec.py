@@ -43,7 +43,10 @@ __all__ = [
 #: the salt folds this into every key, invalidating stale cache entries.
 #: Version 2: SystemParams grew ``precompute`` (canonicalized into every
 #: point key) and documents carry ``schema_version``.
-CACHE_SCHEMA_VERSION = 2
+#: Version 3: SystemParams grew ``sim_mode`` (the resolved backend label
+#: lands in every point key through the params canonicalization) and
+#: cached documents record the producing mode.
+CACHE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -15,14 +15,50 @@ Both are frozen; experiments derive variants with :func:`dataclasses.replace`.
 
 from __future__ import annotations
 
+import os
 from functools import cached_property
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.types import WORD_BYTES
 
-__all__ = ["SDRAMTiming", "SRAMTiming", "SystemParams", "is_power_of_two", "log2_exact"]
+__all__ = [
+    "ENV_SIM_MODE",
+    "SDRAMTiming",
+    "SIM_MODES",
+    "SRAMTiming",
+    "SystemParams",
+    "is_power_of_two",
+    "log2_exact",
+]
+
+#: The four simulation backends, from slowest/most-literal to fastest.
+#: Each mode is bit-exact with the others (``RunResult`` equality is held
+#: by the differential suites); they differ only in how the machine is
+#: stepped:
+#:
+#: * ``"tick"`` — reference loop, every component ticked every cycle.
+#: * ``"skip"`` — next-event time skipping, incremental FirstHit expansion.
+#: * ``"precompute"`` — time skipping + broadcast-time hit schedules.
+#: * ``"soa"`` — precompute + the structure-of-arrays bank automaton:
+#:   all banks stepped as flat-array operations (:mod:`repro.pva.soa`).
+SIM_MODES = ("tick", "skip", "precompute", "soa")
+
+#: Environment variable overriding :attr:`SystemParams.sim_mode` at
+#: construction time (mirrors ``REPRO_TIME_SKIP`` for the run loop):
+#: any of :data:`SIM_MODES` forces that backend for every
+#: :class:`SystemParams` built while it is set; empty or ``auto`` defers
+#: to the configuration object.
+ENV_SIM_MODE = "REPRO_SIM_MODE"
+
+#: ``sim_mode`` -> (time_skip, precompute) aspects implied by each mode.
+_MODE_ASPECTS = {
+    "tick": (False, False),
+    "skip": (True, False),
+    "precompute": (True, True),
+    "soa": (True, True),
+}
 
 
 def is_power_of_two(value: int) -> bool:
@@ -158,14 +194,27 @@ class SystemParams:
     #: simulator jumps idle gaps instead of ticking through them.
     #: Cycle-exact with the reference tick loop (False); the
     #: ``REPRO_TIME_SKIP`` environment variable overrides this field.
-    time_skip: bool = True
+    #: Deprecated alias: prefer ``sim_mode``; ``None`` (the default)
+    #: inherits the aspect implied by ``sim_mode``.
+    time_skip: Optional[bool] = None
     #: Precompute each bank's full hit schedule (indices, local words and
     #: decoded device coordinates) at broadcast time and run the bank
     #: controllers on cursor reads plus quiet-cycle gating
     #: (:mod:`repro.pva.schedule`).  Cycle-exact with the incremental
     #: reference expansion (False); ``python -m repro bench`` carries a
     #: ``precompute`` section cross-checking the two.
-    precompute: bool = True
+    #: Deprecated alias: prefer ``sim_mode``; ``None`` (the default)
+    #: inherits the aspect implied by ``sim_mode``.
+    precompute: Optional[bool] = None
+    #: Which simulation backend steps the machine — one of
+    #: :data:`SIM_MODES`.  ``None`` resolves from the legacy boolean
+    #: aliases (both unset -> ``"precompute"``, today's default).  After
+    #: construction the field always holds the resolved canonical label,
+    #: so it is stable under :func:`dataclasses.replace` round-trips and
+    #: participates in hashing/equality like any other field.  The
+    #: ``REPRO_SIM_MODE`` environment variable, when set to a mode name,
+    #: overrides both this field and the boolean aliases wholesale.
+    sim_mode: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.num_banks):
@@ -198,6 +247,85 @@ class SystemParams:
             raise ConfigurationError("bus_turnaround must be >= 0")
         if self.issue_interval < 0:
             raise ConfigurationError("issue_interval must be >= 0")
+        self._resolve_sim_mode()
+
+    def _resolve_sim_mode(self) -> None:
+        """Resolve ``sim_mode`` and its legacy boolean aliases into a
+        concrete, mutually consistent triple.
+
+        Resolution order (later wins):
+
+        1. ``sim_mode`` supplies defaults for both aspects via the mode
+           ladder (tick -> skip -> precompute -> soa);
+        2. an explicitly passed ``time_skip``/``precompute`` boolean
+           overrides its aspect (back-compat with pre-``sim_mode``
+           callers and ``dataclasses.replace`` round-trips);
+        3. the ``REPRO_SIM_MODE`` environment variable, when set to a
+           mode name, overrides everything wholesale.
+
+        The stored ``sim_mode`` is recomputed from the resolved aspects
+        so the field always carries the canonical label for what will
+        actually run; the frozen-dataclass writes go through
+        ``object.__setattr__`` (standard ``__post_init__`` idiom).
+        """
+        mode = self.sim_mode
+        if mode is not None and mode not in _MODE_ASPECTS:
+            raise ConfigurationError(
+                f"sim_mode must be one of {SIM_MODES}, got {mode!r}"
+            )
+        for alias in ("time_skip", "precompute"):
+            value = getattr(self, alias)
+            if value is not None and not isinstance(value, bool):
+                raise ConfigurationError(
+                    f"{alias} must be a bool or None, got {value!r}"
+                )
+        env = os.environ.get(ENV_SIM_MODE)
+        forced = None
+        if env is not None:
+            env = env.strip().lower()
+            if env and env != "auto":
+                if env not in _MODE_ASPECTS:
+                    raise ConfigurationError(
+                        f"{ENV_SIM_MODE} must be one of {SIM_MODES} "
+                        f"(or empty/'auto'), got {env!r}"
+                    )
+                forced = env
+        if forced is not None:
+            time_skip, precompute = _MODE_ASPECTS[forced]
+            soa = forced == "soa"
+        else:
+            if mode is None:
+                # Legacy default: both aspects on (today's behaviour).
+                time_skip = True if self.time_skip is None else self.time_skip
+                precompute = (
+                    True if self.precompute is None else self.precompute
+                )
+                soa = False
+            else:
+                mode_skip, mode_pre = _MODE_ASPECTS[mode]
+                time_skip = (
+                    mode_skip if self.time_skip is None else self.time_skip
+                )
+                precompute = (
+                    mode_pre if self.precompute is None else self.precompute
+                )
+                soa = mode == "soa"
+            if soa and not precompute:
+                raise ConfigurationError(
+                    "sim_mode='soa' steps banks from precomputed hit "
+                    "schedules; precompute=False is incompatible"
+                )
+        if soa:
+            label = "soa"
+        elif precompute:
+            label = "precompute"
+        elif time_skip:
+            label = "skip"
+        else:
+            label = "tick"
+        object.__setattr__(self, "time_skip", time_skip)
+        object.__setattr__(self, "precompute", precompute)
+        object.__setattr__(self, "sim_mode", label)
 
     @cached_property
     def bank_bits(self) -> int:
@@ -218,9 +346,10 @@ class SystemParams:
         """A copy of these parameters with a different bank count."""
         return replace(self, num_banks=num_banks)
 
-    def describe(self) -> Dict[str, int]:
+    def describe(self) -> Dict[str, object]:
         """Flat summary used by reports and benchmarks."""
         return {
+            "sim_mode": self.sim_mode,
             "num_banks": self.num_banks,
             "cache_line_words": self.cache_line_words,
             "max_transactions": self.max_transactions,

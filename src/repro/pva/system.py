@@ -31,6 +31,7 @@ from repro.interleave.schemes import InterleaveScheme
 from repro.params import SystemParams
 from repro.bus.vector_bus import VectorBus
 from repro.pva.bank_controller import BankController
+from repro.pva.soa import SoaBankAutomaton, soa_eligible
 from repro.sdram.device import DeviceStats, SDRAMDevice
 from repro.sim.events import HORIZON, time_skip_enabled
 from repro.sim.kernel import PassiveComponent, SimKernel
@@ -163,7 +164,7 @@ class _FrontEnd:
                     # its last bus cycle; the banks cannot act on the
                     # command before then.
                     self.system._broadcast(
-                        txn_id, command, cycle + request_cycles - 1, None
+                        txn_id, command, cycle + request_cycles - 1, None, cycle
                     )
                     self.bus.broadcast_request(cycle, request_cycles)
                     self.outstanding[txn_id] = _Transaction(
@@ -189,6 +190,7 @@ class _FrontEnd:
                         command,
                         vec_write_cycle + request_cycles - 1,
                         line,
+                        cycle,
                     )
                     self.outstanding[txn_id] = _Transaction(
                         txn_id=txn_id,
@@ -424,6 +426,9 @@ class PVAMemorySystem:
         )
         self._device_factory = device_factory
         self._pla = shared_k1_pla(self.params.num_banks)
+        #: Live structure-of-arrays backend during a sim_mode="soa" run
+        #: (broadcasts route to it instead of the bank controllers).
+        self._soa: Optional[SoaBankAutomaton] = None
         self.banks: List[BankController] = [
             BankController(
                 bank, self.params, device_factory(self.params), self._pla
@@ -519,10 +524,27 @@ class PVAMemorySystem:
         kernel = SimKernel(watchdog=watchdog, time_skip=time_skip)
         kernel.register(front)
         kernel.register(_BusComponent(bus))
-        for bank in self.banks:
-            kernel.register(_BankComponent(bank, front, time_skip))
+        #: Structure-of-arrays backend: all sixteen bank controllers
+        #: stepped as one flat-array automaton (repro.pva.soa).  Falls
+        #: back to the object components whenever the run is ineligible
+        #: (attached command logs, exotic devices, dirty bank state) —
+        #: same results, object speed.
+        use_soa = self.params.sim_mode == "soa" and soa_eligible(self.banks)
+        if use_soa:
+            self._soa = SoaBankAutomaton(self.banks, front, bus, self.params)
+            kernel.register(self._soa)
+        else:
+            for bank in self.banks:
+                kernel.register(_BankComponent(bank, front, time_skip))
         kernel.register(_CompletionUnit(front))
-        exit_cycle = kernel.run(front.done)
+        try:
+            exit_cycle = kernel.run(front.done)
+        finally:
+            # Restore the object graph before any statistics are read
+            # (or before the caller inspects state after a timeout).
+            if self._soa is not None:
+                self._soa.writeback()
+                self._soa = None
 
         total_cycles = max(front.end_cycle, exit_cycle)
         device_stats = self._aggregate_device_stats()
@@ -566,22 +588,40 @@ class PVAMemorySystem:
         command: AnyCommand,
         cycle: int,
         write_line: Optional[Tuple[int, ...]],
+        call_cycle: int,
     ) -> None:
         is_write = command.access is AccessType.WRITE
+        soa = self._soa
         total = 0
         if self.interleave is not None:
             total = self._broadcast_interleaved(
-                txn_id, command, cycle, write_line
+                txn_id, command, cycle, write_line, call_cycle
             )
         elif isinstance(command, ExplicitCommand):
-            for bank in self.banks:
-                total += bank.broadcast_explicit(
-                    txn_id,
-                    command.addresses,
-                    is_write,
-                    cycle,
-                    write_line=write_line,
-                )
+            if soa is not None:
+                for b in range(len(self.banks)):
+                    total += soa.broadcast_explicit(
+                        b,
+                        txn_id,
+                        command.addresses,
+                        is_write,
+                        cycle,
+                        write_line,
+                        call_cycle,
+                    )
+            else:
+                for bank in self.banks:
+                    total += bank.broadcast_explicit(
+                        txn_id,
+                        command.addresses,
+                        is_write,
+                        cycle,
+                        write_line=write_line,
+                    )
+        elif soa is not None:
+            total = soa.broadcast_vector(
+                txn_id, command.vector, is_write, cycle, write_line, call_cycle
+            )
         else:
             for bank in self.banks:
                 total += bank.broadcast(
@@ -604,6 +644,7 @@ class PVAMemorySystem:
         command: AnyCommand,
         cycle: int,
         write_line: Optional[Tuple[int, ...]],
+        call_cycle: int,
     ) -> int:
         """Broadcast under a cache-line/block interleave (section 4.1.3).
 
@@ -633,15 +674,29 @@ class PVAMemorySystem:
                 for bank in self.banks
             }
             stride = command.vector.stride
-        for bank in self.banks:
-            total += bank.broadcast_pairs(
-                txn_id,
-                tuple(per_bank[bank.bank]),
-                is_write,
-                cycle,
-                write_line=write_line,
-                stride=stride,
-            )
+        soa = self._soa
+        if soa is not None:
+            for bank in self.banks:
+                total += soa.broadcast_pairs(
+                    bank.bank,
+                    txn_id,
+                    tuple(per_bank[bank.bank]),
+                    is_write,
+                    cycle,
+                    write_line,
+                    stride,
+                    call_cycle,
+                )
+        else:
+            for bank in self.banks:
+                total += bank.broadcast_pairs(
+                    txn_id,
+                    tuple(per_bank[bank.bank]),
+                    is_write,
+                    cycle,
+                    write_line=write_line,
+                    stride=stride,
+                )
         return total
 
     def _write_line(self, command: AnyCommand) -> Tuple[int, ...]:

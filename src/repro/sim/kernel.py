@@ -135,6 +135,8 @@ class SimKernel:
         self.time_skip = time_skip
         self._components: List[ClockedComponent] = []
         self._ledger: Dict[str, ComponentCycles] = {}
+        self._names: set = set()
+        self._self_accounting: List[ClockedComponent] = []
         self.cycle = 0
         self._finalized_to: Optional[int] = None
 
@@ -143,18 +145,41 @@ class SimKernel:
     # ------------------------------------------------------------- #
 
     def register(self, component: ClockedComponent) -> ClockedComponent:
-        """Add a component; tick order is registration order."""
+        """Add a component; tick order is registration order.
+
+        A **self-accounting** component — one that exposes a
+        ``ledger_names`` tuple and a ``finalize_ledger(total_cycles)``
+        method — keeps its own per-name cycle ledger instead of being
+        attributed by the kernel.  It represents several logical
+        components stepped as one (the structure-of-arrays bank
+        automaton speaks for all sixteen ``bank-*`` entries): the kernel
+        reserves its names in ledger order here and merges its buckets
+        at :meth:`finalize`; the per-cycle ``account`` splits it returns
+        to the run loop are discarded.
+        """
         name = getattr(component, "name", None)
         if not name:
             raise ConfigurationError(
                 f"component {component!r} has no usable name"
             )
-        if name in self._ledger:
+        if name in self._names:
             raise ConfigurationError(
                 f"component name {name!r} registered twice"
             )
+        self._names.add(name)
+        ledger_names = getattr(component, "ledger_names", None)
+        if ledger_names is None:
+            self._ledger[name] = ComponentCycles()
+        else:
+            for entry_name in ledger_names:
+                if entry_name in self._names:
+                    raise ConfigurationError(
+                        f"component name {entry_name!r} registered twice"
+                    )
+                self._names.add(entry_name)
+                self._ledger[entry_name] = ComponentCycles()
+            self._self_accounting.append(component)
         self._components.append(component)
-        self._ledger[name] = ComponentCycles()
         return component
 
     @property
@@ -184,7 +209,15 @@ class SimKernel:
         ticks = [component.tick for component in components]
         bounds = [component.next_event_cycle for component in components]
         accounts = [component.account for component in components]
-        entries = [ledger[component.name] for component in components]
+        # Self-accounting components write their own ledgers; the run
+        # loop's per-cycle attribution for them lands in a throwaway
+        # entry (their account() is a constant-cost placeholder).
+        entries = [
+            ledger[component.name]
+            if component.name in ledger
+            else ComponentCycles()
+            for component in components
+        ]
         acted_flags = [False] * n
         # Dispatch gating: after a no-act iteration every component's
         # lower bound is cached; on later cycles a component whose cached
@@ -276,6 +309,8 @@ class SimKernel:
                 )
             if total_cycles > self.cycle:
                 for component in self._components:
+                    if component.name not in self._ledger:
+                        continue  # self-accounting: closes its own tail
                     busy, stalled, idle = component.account(
                         self.cycle, total_cycles
                     )
@@ -283,6 +318,15 @@ class SimKernel:
                     entry.busy += busy
                     entry.stalled += stalled
                     entry.idle += idle
+            for component in self._self_accounting:
+                merged = component.finalize_ledger(total_cycles)
+                for entry_name in component.ledger_names:
+                    if entry_name not in merged:
+                        raise ConfigurationError(
+                            f"{component.name}: finalize_ledger returned "
+                            f"no entry for {entry_name!r}"
+                        )
+                    self._ledger[entry_name] = merged[entry_name]
             self._finalized_to = total_cycles
         elif total_cycles != self._finalized_to:
             raise ConfigurationError(

@@ -96,6 +96,25 @@ def test_key_changes_with_salt():
     assert point_key(_point(), "a") != point_key(_point(), "b")
 
 
+def test_key_changes_with_sim_mode():
+    """The resolved backend label is part of the point key: a document
+    produced by one backend can never be served for another."""
+    keys = {
+        point_key(
+            ExperimentPoint(
+                system="pva-sdram",
+                trace=KernelTraceSpec(
+                    kernel="copy", stride=4, alignment="aligned", elements=256
+                ),
+                params=SystemParams(sim_mode=mode),
+            ),
+            "s",
+        )
+        for mode in ("tick", "skip", "precompute", "soa")
+    }
+    assert len(keys) == 4
+
+
 def test_default_salt_carries_version_and_schema():
     import repro
     from repro.engine.spec import CACHE_SCHEMA_VERSION

@@ -221,6 +221,21 @@ class TestSimThroughputMetrics:
             for outcome in recorder.outcomes
         )
 
+    def test_cached_documents_record_producing_sim_mode(self, tmp_path):
+        import json
+
+        points = _points()[:2]
+        ExperimentEngine(jobs=1, cache_dir=tmp_path).run(points)
+        documents = [
+            json.loads(path.read_text())
+            for path in tmp_path.rglob("*.json")
+        ]
+        assert documents
+        assert all(
+            document.get("sim_mode") == points[0].params.sim_mode
+            for document in documents
+        )
+
     def test_cache_hits_cost_no_sim_time(self, tmp_path):
         points = _points()
         ExperimentEngine(jobs=1, cache_dir=tmp_path).run(points)

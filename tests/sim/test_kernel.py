@@ -204,3 +204,58 @@ class TestFinalize:
         assert all(
             isinstance(entry, ComponentCycles) for entry in ledger.values()
         )
+
+
+class Duo:
+    """A toy self-accounting component speaking for two logical parts
+    (the shape the SoA bank automaton registers with)."""
+
+    name = "duo"
+    ledger_names = ("part-a", "part-b")
+
+    def __init__(self, schedule, missing=False):
+        self.inner = Pulse("inner", schedule)
+        self.missing = missing
+
+    def tick(self, cycle):
+        return self.inner.tick(cycle)
+
+    def next_event_cycle(self, cycle):
+        return self.inner.next_event_cycle(cycle)
+
+    def account(self, start, end):
+        return (0, 0, end - start)  # discarded placeholder
+
+    def done(self):
+        return self.inner.done()
+
+    def finalize_ledger(self, total_cycles):
+        out = {"part-a": ComponentCycles(busy=total_cycles)}
+        if not self.missing:
+            out["part-b"] = ComponentCycles(idle=total_cycles)
+        return out
+
+
+class TestSelfAccounting:
+    def test_ledger_names_reserved_at_register(self):
+        kernel = SimKernel(watchdog=_watchdog())
+        kernel.register(Duo([1]))
+        with pytest.raises(ConfigurationError):
+            kernel.register(Pulse("part-a", [2]))
+
+    def test_finalize_merges_component_ledger(self):
+        for time_skip in (False, True):
+            kernel = SimKernel(watchdog=_watchdog(), time_skip=time_skip)
+            duo = kernel.register(Duo([1, 5]))
+            exit_cycle = kernel.run(duo.done)
+            ledger = kernel.finalize(exit_cycle + 3)
+            assert ledger["part-a"] == ComponentCycles(busy=exit_cycle + 3)
+            assert ledger["part-b"] == ComponentCycles(idle=exit_cycle + 3)
+            assert "duo" not in ledger
+
+    def test_missing_ledger_entry_rejected(self):
+        kernel = SimKernel(watchdog=_watchdog())
+        duo = kernel.register(Duo([1], missing=True))
+        exit_cycle = kernel.run(duo.done)
+        with pytest.raises(ConfigurationError):
+            kernel.finalize(exit_cycle)

@@ -62,6 +62,59 @@ class TestRunBench:
         with pytest.raises(ConfigurationError):
             run_bench(elements=16, quick=True, systems=("no-such-system",))
 
+    def test_soa_section_shape_and_cross_checks(self, quick_report):
+        entry = quick_report["soa"]
+        assert entry["system"] == "pva-sdram"
+        # The run itself is the cross-check: run_bench raises unless the
+        # SoA backend reproduced the tick loop's cycles and ledger.
+        dense = quick_report["systems"]["pva-sdram"]
+        assert entry["simulated_cycles"] == dense["simulated_cycles"]
+        assert entry["attribution"] == dense["attribution"]
+        for buckets in entry["attribution"].values():
+            total = buckets["busy"] + buckets["stalled"] + buckets["idle"]
+            assert total == entry["simulated_cycles"]
+        assert entry["soa_seconds"] > 0
+        assert entry["soa_cycles_per_second"] > 0
+        assert entry["baseline_recorded_cycles_per_second"] == 38600.0
+        assert (
+            entry["baseline_measured_cycles_per_second"]
+            == dense["skip_cycles_per_second"]
+        )
+        assert entry["speedup_vs_recorded_baseline"] > 0
+        assert entry["speedup_vs_measured_precompute"] > 0
+
+    def test_precompute_section_surfaces_measured_baseline(self, quick_report):
+        entry = quick_report["precompute"]
+        assert (
+            entry["measured_tick_cycles_per_second"]
+            == entry["incremental_cycles_per_second"]
+        )
+        assert entry["baseline_tick_cycles_per_second"] == 18099.8
+
+    def test_env_overrides_suspended_during_bench(self, monkeypatch):
+        # A forced global mode must not leak into the benchmark's
+        # backend matrix (each section times what it claims to time).
+        from repro.params import ENV_SIM_MODE
+        from repro.sim.events import ENV_TOGGLE
+
+        monkeypatch.setenv(ENV_SIM_MODE, "tick")
+        monkeypatch.setenv(ENV_TOGGLE, "0")
+        report = run_bench(
+            elements=64, repeats=1, quick=True, systems=("pva-sdram",)
+        )
+        assert report["soa"]["soa_cycles_per_second"] > 0
+        # The overrides are restored afterwards.
+        import os
+
+        assert os.environ[ENV_SIM_MODE] == "tick"
+        assert os.environ[ENV_TOGGLE] == "0"
+
+    def test_format_renders_soa_and_baselines(self, quick_report):
+        text = format_bench(quick_report)
+        assert "SoA bank automaton" in text
+        assert "recorded" in text
+        assert "measured" in text
+
 
 class TestBenchCLI:
     def test_quick_bench_writes_report(self, tmp_path, capsys):
@@ -100,6 +153,42 @@ class TestBenchCLI:
                 "",
                 "--min-speedup",
                 "1000",
+            ]
+        )
+        assert code == 1
+
+    def test_min_soa_speedup_gate_fails_cleanly(self):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--elements",
+                "64",
+                "--repeats",
+                "1",
+                "--system",
+                "pva-sdram",
+                "--min-soa-speedup",
+                "1000",
+            ]
+        )
+        assert code == 1
+
+    def test_min_soa_speedup_requires_soa_section(self):
+        # Without pva-sdram in the workload there is no SoA section to
+        # gate on; the gate fails loudly instead of passing vacuously.
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--elements",
+                "64",
+                "--repeats",
+                "1",
+                "--system",
+                "cacheline-serial",
+                "--min-soa-speedup",
+                "0.1",
             ]
         )
         assert code == 1

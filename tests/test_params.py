@@ -110,3 +110,79 @@ class TestSystemParams:
         assert description["num_banks"] == 16
         assert description["stage_cycles"] == 16
         assert description["t_rcd"] == 2
+
+
+class TestSimMode:
+    """The validated sim_mode ladder and its legacy boolean aliases."""
+
+    def test_default_resolves_to_precompute(self):
+        params = SystemParams()
+        assert params.sim_mode == "precompute"
+        assert params.time_skip is True
+        assert params.precompute is True
+
+    def test_mode_ladder_implies_aspects(self):
+        assert SystemParams(sim_mode="tick").time_skip is False
+        assert SystemParams(sim_mode="tick").precompute is False
+        assert SystemParams(sim_mode="skip").time_skip is True
+        assert SystemParams(sim_mode="skip").precompute is False
+        soa = SystemParams(sim_mode="soa")
+        assert soa.time_skip is True
+        assert soa.precompute is True
+        assert soa.sim_mode == "soa"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemParams(sim_mode="warp")
+
+    def test_legacy_booleans_still_resolve_a_label(self):
+        assert SystemParams(time_skip=False, precompute=False).sim_mode == "tick"
+        assert SystemParams(time_skip=True, precompute=False).sim_mode == "skip"
+        assert (
+            SystemParams(time_skip=False, precompute=True).sim_mode
+            == "precompute"
+        )
+
+    def test_explicit_boolean_overrides_mode_aspect(self):
+        # Back-compat: replace(params, time_skip=False) on a precompute
+        # config drops to the tick loop but keeps the schedule tables.
+        params = SystemParams(sim_mode="precompute", time_skip=False)
+        assert params.time_skip is False
+        assert params.precompute is True
+        assert params.sim_mode == "precompute"
+
+    def test_soa_requires_precompute(self):
+        with pytest.raises(ConfigurationError):
+            SystemParams(sim_mode="soa", precompute=False)
+
+    def test_replace_round_trip_is_stable(self):
+        from dataclasses import replace
+
+        for mode in ("tick", "skip", "precompute", "soa"):
+            params = SystemParams(sim_mode=mode)
+            again = replace(params, num_banks=8)
+            assert again.sim_mode == mode
+
+    def test_hashable_and_equal(self):
+        a = SystemParams(sim_mode="soa")
+        b = SystemParams(sim_mode="soa")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != SystemParams(sim_mode="precompute")
+
+    def test_env_override_forces_mode(self, monkeypatch):
+        from repro.params import ENV_SIM_MODE
+
+        monkeypatch.setenv(ENV_SIM_MODE, "soa")
+        params = SystemParams(sim_mode="tick")
+        assert params.sim_mode == "soa"
+        assert params.time_skip is True
+        assert params.precompute is True
+        monkeypatch.setenv(ENV_SIM_MODE, "auto")
+        assert SystemParams(sim_mode="tick").sim_mode == "tick"
+        monkeypatch.setenv(ENV_SIM_MODE, "hyperdrive")
+        with pytest.raises(ConfigurationError):
+            SystemParams()
+
+    def test_describe_reports_mode(self):
+        assert SystemParams(sim_mode="soa").describe()["sim_mode"] == "soa"
