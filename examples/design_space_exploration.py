@@ -83,11 +83,33 @@ def sweep_bypass() -> None:
     print()
 
 
+def pareto_frontier() -> None:
+    """The driver behind ``python -m repro explore``: sweep GenParams
+    axes, prune with analytic lower bounds, report cycles vs. the
+    Table-1 complexity score."""
+    from repro.explore import SweepSpec, format_explore, run_explore
+
+    print("== Pareto frontier: simulated cycles vs hardware complexity ==")
+    spec = SweepSpec(
+        axes={
+            "num_banks": [4, 8, 16],
+            "num_channels": [1, 2],
+            "num_vector_contexts": [1, 4],
+        },
+        kernel="saxpy",
+        stride=19,
+        elements=256,
+    )
+    print(format_explore(run_explore(spec)))
+    print()
+
+
 def main() -> None:
     sweep_banks()
     sweep_vector_contexts()
     sweep_row_policy()
     sweep_bypass()
+    pareto_frontier()
     print(
         "Observations: closed-page ('close') collapses at single-bank\n"
         "strides; the ManageRow heuristic matches the best policy\n"

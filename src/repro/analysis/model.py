@@ -41,11 +41,14 @@ def available_parallelism(stride: int, num_banks: int) -> int:
 def bus_bound_cycles(
     commands: Sequence, params: SystemParams
 ) -> int:
-    """Vector-bus occupancy lower bound.
+    """Vector-bus occupancy lower bound (per channel).
 
     Every read costs one request cycle plus a STAGE_READ command and the
     line transfer; every write costs STAGE_WRITE, the transfer, and the
-    VEC_WRITE broadcast.  The bus serializes all of it.
+    VEC_WRITE broadcast.  Commands and broadcasts occupy every channel
+    simultaneously, while the line transfer splits evenly across
+    channels (``channel_stage_cycles``); each channel's timeline
+    serializes all of it.
     """
     total = 0
     for command in commands:
@@ -54,9 +57,9 @@ def bus_bound_cycles(
         else:
             request = 1
         if command.access is AccessType.READ:
-            total += request + 1 + params.stage_cycles
+            total += request + 1 + params.channel_stage_cycles
         else:
-            total += 1 + params.stage_cycles + request
+            total += 1 + params.channel_stage_cycles + request
     return total
 
 
@@ -98,10 +101,11 @@ def cacheline_serial_cycles(
     commands: Sequence[VectorCommand], params: SystemParams
 ) -> int:
     """Exact analytic cost of the cache-line serial baseline: 20 cycles
-    per distinct line per command, serially."""
+    per distinct line per command, serially (the line burst splits
+    across channels)."""
     shift = params.cache_line_words.bit_length() - 1
     fill = params.sdram.t_rcd + params.sdram.cas_latency + (
-        params.line_bytes // 8
+        params.channel_stage_cycles
     )
     total = 0
     for command in commands:
@@ -123,6 +127,6 @@ def gathering_serial_cycles(
             + timing.t_rcd
             + timing.cas_latency
             + command.vector.length
-            + params.line_bytes // 8
+            + params.channel_stage_cycles
         )
     return total

@@ -53,8 +53,9 @@ class CacheLineSerialSDRAM:
         self.name = name
         self.fill_per_element = fill_per_element
         timing = self.params.sdram
-        #: 64-bit memory bus moves 8 bytes per cycle.
-        self.burst_cycles = self.params.line_bytes // 8
+        #: 64-bit memory bus per channel moves 8 bytes per cycle; a line
+        #: burst splits evenly across channels.
+        self.burst_cycles = self.params.channel_stage_cycles
         self.fill_cycles = timing.t_rcd + timing.cas_latency + self.burst_cycles
         #: Flat functional memory image (word address -> value), so the
         #: baseline is observationally comparable with the PVA systems.

@@ -44,8 +44,9 @@ class GatheringSerialSDRAM:
     ):
         self.params = params or SystemParams()
         self.name = name
-        #: 64-bit memory bus moves 8 bytes per cycle.
-        self.transfer_cycles = self.params.line_bytes // 8
+        #: 64-bit memory bus per channel moves 8 bytes per cycle; the
+        #: gathered line transfers split evenly across channels.
+        self.transfer_cycles = self.params.channel_stage_cycles
         #: Flat functional memory image (word address -> value).
         self._storage = {}
 

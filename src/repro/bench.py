@@ -2,12 +2,20 @@
 
 ``python -m repro bench`` times every registered memory system twice
 over the same workload — once with the reference tick loop
-(``time_skip=False``) and once with the event-driven cycle-skipping
-loop (``time_skip=True``) — and reports simulated-cycles-per-second for
-each mode plus the skip-vs-tick wall-clock speedup.  The workload is
-the stride-19 slice of the section-6.2 evaluation grid (every kernel x
+(``sim_mode="tick"``) and once with the default fast path
+(``sim_mode="precompute"``: the event-driven skip loop plus
+broadcast-time hit schedules; the report's ``skip_*`` keys, kept for
+metric continuity) — and reports simulated-cycles-per-second for each
+mode plus the fast-vs-tick wall-clock speedup.  The workload is the
+stride-19 slice of the section-6.2 evaluation grid (every kernel x
 every alignment), the densest bank-conflict case in the paper and the
 headline configuration tracked in ``BENCH_sim.json``.
+
+Every report carries the resolved canonical config document
+(``config``/``config_key``, from :meth:`GenParams.to_dict`) and the
+harness verifies each section ran that identical configuration (modulo
+the section's declared ``sim_mode``, and ``issue_interval`` for the
+sparse scenario) before publishing numbers.
 
 The harness also cross-checks correctness for free: both modes must
 report identical total cycle counts, or the run aborts — a benchmark of
@@ -68,6 +76,20 @@ BASELINE_DENSE_CYCLES_PER_SECOND = 38600.0
 
 #: ``--quick`` workload (CI smoke): two kernels, one alignment.
 QUICK_KERNELS = ("copy", "saxpy")
+
+
+def _assert_same_config(base: SystemParams, params: SystemParams, section: str) -> None:
+    """Cross-check: ``params`` must be ``base`` with at most a different
+    ``sim_mode`` — every bench section times the same machine."""
+    want = base.to_dict()
+    got = params.to_dict()
+    want.pop("sim_mode")
+    got.pop("sim_mode")
+    if got != want:
+        raise ConfigurationError(
+            f"bench section {section!r} ran a different machine config "
+            "than the report header — refusing to publish numbers for it"
+        )
 
 
 def _cases(quick: bool):
@@ -150,8 +172,13 @@ def run_bench(
     saved_mode_env = os.environ.pop(ENV_SIM_MODE, None)
     try:
         base = params or SystemParams()
-        tick_params = replace(base, time_skip=False)
-        skip_params = replace(base, time_skip=True)
+        tick_params = replace(base, sim_mode="tick")
+        skip_params = replace(base, sim_mode="precompute")
+        for section, section_params in (
+            ("tick", tick_params),
+            ("skip", skip_params),
+        ):
+            _assert_same_config(base, section_params, section)
         report: Dict = {
             "benchmark": "tick-vs-skip",
             "stride": stride,
@@ -160,6 +187,8 @@ def run_bench(
             "quick": quick,
             "kernels": sorted({kernel for kernel, _ in cases}),
             "alignments": sorted({alignment.name for _, alignment in cases}),
+            "config": base.to_dict(),
+            "config_key": base.config_key(),
             "systems": {},
         }
 
@@ -287,13 +316,16 @@ def run_bench(
 
         # Tertiary scenario: the broadcast-time hit-schedule precompute
         # (repro.pva.schedule) against the incremental FirstHit/NextHit
-        # expansion it replaces, both under the reference tick loop on
-        # the headline pva-sdram system.  The two paths must agree on
+        # expansion it replaces — sim_mode="precompute" vs
+        # sim_mode="skip", both on the event-driven loop, on the
+        # headline pva-sdram system.  The two paths must agree on
         # cycles *and* the attribution ledger — the precompute layer is
         # a pure representation change.
         if "pva-sdram" in names:
-            pre_params = replace(tick_params, precompute=True)
-            inc_params = replace(tick_params, precompute=False)
+            pre_params = replace(base, sim_mode="precompute")
+            inc_params = replace(base, sim_mode="skip")
+            _assert_same_config(base, pre_params, "precompute")
+            _assert_same_config(base, inc_params, "incremental")
             traces = [
                 build_trace(
                     kernel_by_name(kernel),
@@ -336,14 +368,15 @@ def run_bench(
                 if pre["seconds"] > 0
                 else 0.0,
                 # Recorded vs measured baseline, side by side: the
-                # recorded constant is the CI gate's denominator; the
-                # measured incremental rate is the same backend timed in
-                # this run, so a stale constant shows up as a gap here
+                # recorded constant (the pre-precompute-era tick rate)
+                # is the CI gate's denominator; the measured incremental
+                # rate is the schedule-free skip backend timed in this
+                # run, so a stale constant shows up as a gap here
                 # instead of silently skewing speedup_vs_baseline.
                 "baseline_tick_cycles_per_second": (
                     BASELINE_TICK_CYCLES_PER_SECOND
                 ),
-                "measured_tick_cycles_per_second": round(
+                "measured_incremental_cycles_per_second": round(
                     inc["cycles"] / inc["seconds"], 1
                 )
                 if inc["seconds"] > 0
@@ -360,11 +393,8 @@ def run_bench(
         # count and per-component attribution ledger exactly — three
         # backends, one answer.
         if "pva-sdram" in names:
-            # Reset the legacy aliases so the mode's own aspects win
-            # even when the caller's base pinned them.
-            soa_params = replace(
-                base, sim_mode="soa", time_skip=None, precompute=None
-            )
+            soa_params = replace(base, sim_mode="soa")
+            _assert_same_config(base, soa_params, "soa")
             traces = [
                 build_trace(
                     kernel_by_name(kernel),
@@ -475,16 +505,16 @@ def format_bench(report: Dict) -> str:
     pre = report.get("precompute")
     if pre:
         summary += (
-            f"\nhit-schedule precompute ({pre['system']}, tick loop): "
+            f"\nhit-schedule precompute ({pre['system']}, skip loop): "
             f"precomputed {pre['precompute_seconds']:.2f}s "
             f"({pre['precompute_cycles_per_second'] / 1000.0:.0f}k cyc/s), "
             f"incremental {pre['incremental_seconds']:.2f}s — "
             f"speedup {pre['speedup']:.2f}x vs incremental, "
-            f"{pre['speedup_vs_baseline']:.2f}x vs recorded baseline "
+            f"{pre['speedup_vs_baseline']:.2f}x vs recorded tick baseline "
             f"({pre['baseline_tick_cycles_per_second'] / 1000.0:.1f}k "
             f"recorded, "
-            f"{pre['measured_tick_cycles_per_second'] / 1000.0:.1f}k "
-            f"measured)"
+            f"{pre['measured_incremental_cycles_per_second'] / 1000.0:.1f}k "
+            f"measured incremental)"
         )
     soa = report.get("soa")
     if soa:

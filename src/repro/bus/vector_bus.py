@@ -74,7 +74,7 @@ class VectorBus:
         turnaround = (
             self.params.bus_turnaround if self.last_data_was_write else 0
         )
-        stage = self.params.stage_cycles
+        stage = self.params.channel_stage_cycles
         self.stats.request_cycles += 1
         self.stats.data_cycles += stage
         self.stats.turnaround_cycles += turnaround
@@ -92,7 +92,7 @@ class VectorBus:
             if self.last_data_was_write is False
             else 0
         )
-        stage = self.params.stage_cycles
+        stage = self.params.channel_stage_cycles
         self.stats.request_cycles += 1 + request_cycles
         self.stats.data_cycles += stage
         self.stats.turnaround_cycles += turnaround

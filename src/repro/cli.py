@@ -369,6 +369,91 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    explore_parser = sub.add_parser(
+        "explore",
+        help=(
+            "design-space exploration: sweep GenParams axes, prune with "
+            "analytic lower bounds, emit the cycles-vs-complexity "
+            "Pareto frontier"
+        ),
+    )
+    explore_parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="JSON sweep spec (axes + workload); overrides axis flags",
+    )
+    explore_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sweep: 12 banks x contexts x channels points",
+    )
+    explore_parser.add_argument(
+        "--banks", default=None, metavar="LIST",
+        help="comma-separated num_banks values, e.g. 4,8,16",
+    )
+    explore_parser.add_argument(
+        "--channels", default=None, metavar="LIST",
+        help="comma-separated num_channels values",
+    )
+    explore_parser.add_argument(
+        "--ranks", default=None, metavar="LIST",
+        help="comma-separated ranks_per_channel values",
+    )
+    explore_parser.add_argument(
+        "--contexts", default=None, metavar="LIST",
+        help="comma-separated num_vector_contexts values",
+    )
+    explore_parser.add_argument(
+        "--fifo", default=None, metavar="LIST",
+        help="comma-separated request_fifo_depth values",
+    )
+    explore_parser.add_argument(
+        "--line-words", default=None, metavar="LIST",
+        help="comma-separated cache_line_words values",
+    )
+    explore_parser.add_argument(
+        "--row-policy", default=None, metavar="LIST",
+        help="comma-separated row policies, e.g. paper,close",
+    )
+    explore_parser.add_argument(
+        "--kernel", default=None, choices=sorted(EVAL_KERNELS)
+    )
+    explore_parser.add_argument("--stride", type=int, default=None)
+    explore_parser.add_argument(
+        "--alignment",
+        default=None,
+        choices=[a.name for a in ALIGNMENTS],
+    )
+    explore_parser.add_argument("--elements", type=int, default=None)
+    explore_parser.add_argument(
+        "--system", default=None, choices=["pva-sdram", "pva-sram"]
+    )
+    explore_parser.add_argument(
+        "--prune-slack",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "also prune candidates whose bound is within X of the best "
+            "simulated cycles (0 = exact, frontier-preserving pruning)"
+        ),
+    )
+    explore_parser.add_argument(
+        "--min-prune-fraction",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless pruning skipped at least fraction X",
+    )
+    explore_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the JSON exploration report here",
+    )
+    _add_engine_options(explore_parser)
+
     sweep_parser = sub.add_parser(
         "sweep", help="dense stride sweep on one kernel"
     )
@@ -823,6 +908,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(args)
+    if args.command == "explore":
+        from repro.explore import main as explore_main
+
+        return explore_main(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "serve":

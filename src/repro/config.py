@@ -1,0 +1,539 @@
+"""The configuration composition root.
+
+Everything the simulators, analytic models and complexity estimators
+need to know about the machine lives in one frozen, validated, hashable
+container: :class:`GenParams` (the coreblocks-style *generation
+parameters* idiom).  It composes
+
+* device timing — :class:`SDRAMTiming` / :class:`SRAMTiming`,
+* :class:`Topology` — channels x ranks x banks-per-rank geometry,
+* the bank-controller microarchitecture knobs (vector contexts, FIFO
+  depth, bypass paths, FirstHit-Calculate latency),
+* the scheduler's ``row_policy``, and
+* the ``sim_mode`` backend selector,
+
+and owns the **canonical serialization**: :meth:`GenParams.to_dict` /
+:meth:`GenParams.from_dict` round-trip exactly, and
+:meth:`GenParams.config_key` is a stable content hash used by the engine
+result cache, the service journal and the bench reports.  Bumping
+:data:`CONFIG_SCHEMA_VERSION` is the single switch that retires every
+stale cached document.
+
+:class:`repro.params.SystemParams` remains as a thin compatibility
+façade over this module — it accepts the historical flat field list and
+forwards to a :class:`GenParams` (see ``SystemParams.gen``).
+
+Topology addressing
+-------------------
+Word addresses are bank-interleaved exactly as before: the low
+``log2(total_banks)`` bits of a word address select the bank.  Within
+the bank index, the low ``log2(num_channels)`` bits name the channel
+(channel-interleaved word addressing: consecutive words alternate
+channels), the next ``log2(ranks_per_channel)`` bits name the rank on
+that channel, and the remaining bits the bank within the rank.  Ranks
+are organizational (electrical load / capacity) and share the channel's
+timing; channels each carry their own 8-byte-per-cycle data path, so a
+cache line staged to the CPU splits evenly across channels —
+``channel_stage_cycles == stage_cycles // num_channels`` data cycles of
+occupancy per channel.  Because every vector broadcast addresses all
+banks and the staging split is uniform, the channels advance in
+lock-step and one bus timeline models all of them; this is what keeps
+every ``sim_mode`` backend bit-identical for multi-channel configs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Type, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.types import WORD_BYTES
+
+__all__ = [
+    "CONFIG_SCHEMA_VERSION",
+    "ENV_SIM_MODE",
+    "GenParams",
+    "ROW_POLICIES",
+    "SDRAMTiming",
+    "SIM_MODES",
+    "SRAMTiming",
+    "Topology",
+    "canonical_sim_mode",
+    "is_power_of_two",
+    "log2_exact",
+]
+
+#: Version stamp of the canonical config document (and, by adoption, of
+#: the engine cache schema).  v4: GenParams/Topology introduction —
+#: nested device/topology documents, ``sram`` timing and channel/rank
+#: geometry join the schema; the legacy ``time_skip``/``precompute``
+#: aliases leave it.
+CONFIG_SCHEMA_VERSION = 4
+
+#: The four simulation backends, from slowest/most-literal to fastest.
+#: Each mode is bit-exact with the others (``RunResult`` equality is
+#: held by the differential suites); they differ only in how the
+#: machine is stepped:
+#:
+#: * ``"tick"`` — reference loop, every component ticked every cycle.
+#: * ``"skip"`` — next-event time skipping, incremental FirstHit expansion.
+#: * ``"precompute"`` — time skipping + broadcast-time hit schedules.
+#: * ``"soa"`` — precompute + the structure-of-arrays bank automaton:
+#:   all banks stepped as flat-array operations (:mod:`repro.pva.soa`).
+SIM_MODES = ("tick", "skip", "precompute", "soa")
+
+#: Environment variable overriding ``sim_mode`` at construction time
+#: (mirrors ``REPRO_TIME_SKIP`` for the run loop): any of
+#: :data:`SIM_MODES` forces that backend for every config object built
+#: while it is set; empty or ``auto`` defers to the configuration.
+ENV_SIM_MODE = "REPRO_SIM_MODE"
+
+#: Valid scheduler row-management policies.  Kept in lock-step with
+#: :mod:`repro.pva.rowpolicy` (a unit test cross-checks the registry) —
+#: listed here so the composition root validates without importing the
+#: simulator packages.
+ROW_POLICIES = ("close", "history", "open", "paper")
+
+
+def is_power_of_two(value: int) -> bool:
+    """True iff ``value`` is a positive power of two."""
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int, what: str = "value") -> int:
+    """Return ``log2(value)`` for an exact power of two, else raise."""
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def canonical_sim_mode(mode: str) -> str:
+    """Validate ``mode`` against :data:`SIM_MODES` and apply the
+    ``REPRO_SIM_MODE`` environment override (which, when set to a mode
+    name, wins wholesale)."""
+    env = os.environ.get(ENV_SIM_MODE)
+    if env is not None:
+        env = env.strip().lower()
+        if env and env != "auto":
+            if env not in SIM_MODES:
+                raise ConfigurationError(
+                    f"{ENV_SIM_MODE} must be one of {SIM_MODES} "
+                    f"(or empty/'auto'), got {env!r}"
+                )
+            return env
+    if mode not in SIM_MODES:
+        raise ConfigurationError(
+            f"sim_mode must be one of {SIM_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class SDRAMTiming:
+    """Timing and geometry of one SDRAM bank (a 32-bit wide module built
+    from x16 parts, per section 5.1).
+
+    All latencies are in memory-bus clock cycles (100 MHz in the prototype).
+
+    Attributes
+    ----------
+    t_rcd:
+        RAS-to-CAS delay: cycles between a bank-activate (row open) and the
+        first column command to that row.  Paper: 2.
+    cas_latency:
+        Cycles between a READ command and its data appearing on the device
+        data pins.  Paper: 2.
+    t_rp:
+        Precharge period: cycles after a PRECHARGE before the internal bank
+        can be activated again.  Paper models 2.
+    t_wr:
+        Write recovery: cycles after the last write datum before a
+        precharge of the same internal bank may be issued.
+    internal_banks:
+        Independent banks (row buffers) inside one device.  Paper: 4.
+    row_words:
+        Row (page) size per internal bank in machine words.  A 2 KB page of
+        a 32-bit module is 512 words.
+    """
+
+    t_rcd: int = 2
+    cas_latency: int = 2
+    t_rp: int = 2
+    t_wr: int = 1
+    internal_banks: int = 4
+    row_words: int = 512
+    #: Auto-refresh period in cycles; 0 disables refresh, which is what
+    #: the paper's evaluation implicitly assumes.  A realistic 100 MHz
+    #: part refreshing 8192 rows every 64 ms needs one refresh per ~780
+    #: cycles.
+    refresh_interval: int = 0
+    #: Cycles one auto-refresh occupies the whole device (rows close,
+    #: no activates until it completes).
+    t_rfc: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd", "cas_latency", "t_rp"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.t_wr < 0:
+            raise ConfigurationError("t_wr must be >= 0")
+        if self.refresh_interval < 0:
+            raise ConfigurationError("refresh_interval must be >= 0")
+        if self.t_rfc < 1:
+            raise ConfigurationError("t_rfc must be >= 1")
+        if not is_power_of_two(self.internal_banks):
+            raise ConfigurationError(
+                f"internal_banks must be a power of two, got {self.internal_banks}"
+            )
+        if not is_power_of_two(self.row_words):
+            raise ConfigurationError(
+                f"row_words must be a power of two, got {self.row_words}"
+            )
+
+    @property
+    def row_miss_penalty(self) -> int:
+        """Cycles added by a row conflict versus an open-row hit."""
+        return self.t_rp + self.t_rcd
+
+
+@dataclass(frozen=True)
+class SRAMTiming:
+    """Timing of the idealized SRAM used by the PVA-SRAM comparison system:
+    every access completes in ``access_cycles`` with no row state."""
+
+    access_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.access_cycles < 1:
+            raise ConfigurationError("access_cycles must be >= 1")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Channel / rank / bank geometry of the memory system.
+
+    The default ``1 x 1 x 16`` reproduces the paper's prototype exactly:
+    one channel, one rank, sixteen word-interleaved banks.  All three
+    dimensions must be powers of two so the bank index of a word address
+    stays a contiguous low bit-field (see the module docstring for the
+    bit layout).
+    """
+
+    num_channels: int = 1
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("num_channels", "ranks_per_channel", "banks_per_rank"):
+            value = getattr(self, name)
+            if not is_power_of_two(value):
+                raise ConfigurationError(
+                    f"{name} must be a power of two, got {value!r}"
+                )
+
+    @property
+    def total_banks(self) -> int:
+        """Banks across the whole system — the interleave factor."""
+        return self.num_channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def channel_bits(self) -> int:
+        return log2_exact(self.num_channels, "num_channels")
+
+    @property
+    def rank_bits(self) -> int:
+        return log2_exact(self.ranks_per_channel, "ranks_per_channel")
+
+    @property
+    def bank_bits(self) -> int:
+        """Bits selecting the bank within one rank."""
+        return log2_exact(self.banks_per_rank, "banks_per_rank")
+
+    @property
+    def total_bank_bits(self) -> int:
+        """``log2(total_banks)`` — the full bank-select field of a word
+        address (channel + rank + in-rank bank bits)."""
+        return self.channel_bits + self.rank_bits + self.bank_bits
+
+    def channel_of_bank(self, bank: int) -> int:
+        """Channel serving system-wide bank index ``bank`` (the low bits
+        of the bank index: word-interleave alternates channels)."""
+        return bank & (self.num_channels - 1)
+
+    def rank_of_bank(self, bank: int) -> int:
+        """Rank (within its channel) of system-wide bank index ``bank``."""
+        return (bank >> self.channel_bits) & (self.ranks_per_channel - 1)
+
+    def bank_within_rank(self, bank: int) -> int:
+        """Position of system-wide bank index ``bank`` inside its rank."""
+        return bank >> (self.channel_bits + self.rank_bits)
+
+
+_D = TypeVar("_D")
+
+
+def _sub_from_dict(cls: Type[_D], doc: Any, what: str) -> _D:
+    """Build a nested config dataclass from a plain mapping, rejecting
+    unknown keys (missing keys take their defaults)."""
+    if not isinstance(doc, Mapping):
+        raise ConfigurationError(
+            f"{what} must be a mapping of field names, got {type(doc).__name__}"
+        )
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(doc) - allowed)
+    if unknown:
+        raise ConfigurationError(f"unknown {what} keys: {unknown}")
+    return cls(**dict(doc))
+
+
+@dataclass(frozen=True)
+class GenParams:
+    """The validated, hashable configuration of one simulated machine.
+
+    Frozen; experiments derive variants with :func:`dataclasses.replace`.
+    Defaults reproduce the paper's prototype (section 5.1): 16 banks of
+    word-interleaved 32-bit SDRAM on one channel, 128-byte L2 lines
+    (32-word vector commands), a split-transaction bus with 8
+    outstanding transactions, and bank controllers with 4 vector
+    contexts.
+    """
+
+    topology: Topology = field(default_factory=Topology)
+    sdram: SDRAMTiming = field(default_factory=SDRAMTiming)
+    sram: SRAMTiming = field(default_factory=SRAMTiming)
+    cache_line_words: int = 32
+    max_transactions: int = 8
+    num_vector_contexts: int = 4
+    request_fifo_depth: int = 8
+    #: Cycles the FirstHit-Calculate multiply-add needs for a non-power-of-
+    #: two stride (29.5 ns FPGA critical path -> 2 cycles at 100 MHz).
+    fhc_latency: int = 2
+    #: One dead cycle whenever the data-bus direction reverses (5.2.5).
+    bus_turnaround: int = 1
+    #: Enable the latency-reduction bypass paths of section 5.2.3.
+    bypass_paths: bool = True
+    #: Row-management policy — one of :data:`ROW_POLICIES`
+    #: (:mod:`repro.pva.rowpolicy`).
+    row_policy: str = "paper"
+    #: Minimum cycles between vector-command issues from the front end.
+    #: 0 models the paper's infinitely fast CPU (section 6.2).
+    issue_interval: int = 0
+    #: Simulation backend — one of :data:`SIM_MODES`.  Always stores the
+    #: concrete label (the ``REPRO_SIM_MODE`` environment variable, when
+    #: set to a mode name, overrides it wholesale at construction).
+    sim_mode: str = "precompute"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.topology, Topology):
+            raise ConfigurationError(
+                f"topology must be a Topology, got {type(self.topology).__name__}"
+            )
+        if not isinstance(self.sdram, SDRAMTiming):
+            raise ConfigurationError(
+                f"sdram must be an SDRAMTiming, got {type(self.sdram).__name__}"
+            )
+        if not isinstance(self.sram, SRAMTiming):
+            raise ConfigurationError(
+                f"sram must be an SRAMTiming, got {type(self.sram).__name__}"
+            )
+        if not is_power_of_two(self.cache_line_words):
+            raise ConfigurationError(
+                "cache_line_words must be a power of two, got "
+                f"{self.cache_line_words}"
+            )
+        if self.max_transactions < 1:
+            raise ConfigurationError("max_transactions must be >= 1")
+        if self.max_transactions > 8:
+            raise ConfigurationError(
+                "the vector bus carries a three-bit transaction id; "
+                f"max_transactions must be <= 8, got {self.max_transactions}"
+            )
+        if self.num_vector_contexts < 1:
+            raise ConfigurationError("num_vector_contexts must be >= 1")
+        if self.request_fifo_depth < self.max_transactions:
+            raise ConfigurationError(
+                "the register file must hold as many entries as the bus "
+                "allows outstanding transactions (section 5.2.2): depth "
+                f"{self.request_fifo_depth} < {self.max_transactions}"
+            )
+        if self.fhc_latency < 1:
+            raise ConfigurationError("fhc_latency must be >= 1")
+        if self.bus_turnaround < 0:
+            raise ConfigurationError("bus_turnaround must be >= 0")
+        if self.issue_interval < 0:
+            raise ConfigurationError("issue_interval must be >= 0")
+        if not isinstance(self.bypass_paths, bool):
+            raise ConfigurationError(
+                f"bypass_paths must be a bool, got {self.bypass_paths!r}"
+            )
+        if self.row_policy not in ROW_POLICIES:
+            raise ConfigurationError(
+                f"row_policy must be one of {ROW_POLICIES}, "
+                f"got {self.row_policy!r}"
+            )
+        if self.topology.num_channels > self.stage_cycles:
+            raise ConfigurationError(
+                "a cache line stages to the CPU in "
+                f"{self.stage_cycles} data cycles, which cannot split "
+                f"evenly across num_channels={self.topology.num_channels}; "
+                "grow cache_line_words or shrink the channel count"
+            )
+        object.__setattr__(self, "sim_mode", canonical_sim_mode(self.sim_mode))
+
+    # ---------------------------------------------------------- derived
+
+    @property
+    def num_banks(self) -> int:
+        """Total interleaved banks across channels and ranks."""
+        return self.topology.total_banks
+
+    @property
+    def bank_bits(self) -> int:
+        return self.topology.total_bank_bits
+
+    @property
+    def line_bytes(self) -> int:
+        return self.cache_line_words * WORD_BYTES
+
+    @property
+    def stage_cycles(self) -> int:
+        """Data cycles to stage one cache line over the 128-bit BC bus
+        (128 bytes at 8 bytes per cycle = 16, section 5.2.6) — summed
+        over all channels."""
+        return (self.cache_line_words * WORD_BYTES) // 8
+
+    @property
+    def channel_stage_cycles(self) -> int:
+        """Data cycles one *channel* is occupied staging its share of a
+        cache line — the line splits evenly across channels."""
+        return self.stage_cycles // self.topology.num_channels
+
+    @property
+    def max_vector_length(self) -> int:
+        """Longest vector one bus command may carry (one cache line)."""
+        return self.cache_line_words
+
+    @property
+    def uses_time_skip(self) -> bool:
+        """Whether this mode runs the next-event skip loop (every mode
+        except the reference ``tick`` loop)."""
+        return self.sim_mode != "tick"
+
+    @property
+    def uses_precompute(self) -> bool:
+        """Whether this mode expands broadcast-time hit schedules
+        (:mod:`repro.pva.schedule`)."""
+        return self.sim_mode in ("precompute", "soa")
+
+    # ---------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical, JSON-ready document for this configuration.
+
+        Nested and complete: every field appears (no drift-prone
+        hand-listing), stamped with :data:`CONFIG_SCHEMA_VERSION`.
+        """
+        doc: Dict[str, Any] = {"schema_version": CONFIG_SCHEMA_VERSION}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name in ("topology", "sdram", "sram"):
+                doc[f.name] = {
+                    sub.name: getattr(value, sub.name) for sub in fields(value)
+                }
+            else:
+                doc[f.name] = value
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "GenParams":
+        """Rebuild a :class:`GenParams` from :meth:`to_dict` output.
+
+        Unknown keys are rejected (typo safety); missing keys take their
+        defaults; a present ``schema_version`` must match.
+        """
+        if not isinstance(doc, Mapping):
+            raise ConfigurationError(
+                f"config document must be a mapping, got {type(doc).__name__}"
+            )
+        doc = dict(doc)
+        version = doc.pop("schema_version", CONFIG_SCHEMA_VERSION)
+        if version != CONFIG_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"config schema_version {version!r} is not the supported "
+                f"{CONFIG_SCHEMA_VERSION}"
+            )
+        allowed = {f.name for f in fields(cls)}
+        unknown = sorted(set(doc) - allowed)
+        if unknown:
+            raise ConfigurationError(f"unknown config keys: {unknown}")
+        kwargs: Dict[str, Any] = {}
+        for name, sub_cls in (
+            ("topology", Topology),
+            ("sdram", SDRAMTiming),
+            ("sram", SRAMTiming),
+        ):
+            if name in doc:
+                kwargs[name] = _sub_from_dict(sub_cls, doc.pop(name), name)
+        kwargs.update(doc)
+        return cls(**kwargs)
+
+    def config_key(self) -> str:
+        """Stable SHA-256 content address of the canonical document —
+        the identity the engine cache, service journal and bench reports
+        key on."""
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # --------------------------------------------------- compatibility
+
+    def to_system_params(self):
+        """The equivalent :class:`repro.params.SystemParams` façade."""
+        from repro.params import SystemParams
+
+        return SystemParams(
+            num_banks=self.topology.total_banks,
+            cache_line_words=self.cache_line_words,
+            max_transactions=self.max_transactions,
+            num_vector_contexts=self.num_vector_contexts,
+            request_fifo_depth=self.request_fifo_depth,
+            sdram=self.sdram,
+            fhc_latency=self.fhc_latency,
+            bus_turnaround=self.bus_turnaround,
+            bypass_paths=self.bypass_paths,
+            row_policy=self.row_policy,
+            issue_interval=self.issue_interval,
+            sim_mode=self.sim_mode,
+            num_channels=self.topology.num_channels,
+            ranks_per_channel=self.topology.ranks_per_channel,
+            sram=self.sram,
+        )
+
+    @classmethod
+    def from_system_params(cls, params) -> "GenParams":
+        """Lift a :class:`repro.params.SystemParams` façade into the
+        canonical container (``params.gen`` caches this)."""
+        channels = params.num_channels * params.ranks_per_channel
+        return cls(
+            topology=Topology(
+                num_channels=params.num_channels,
+                ranks_per_channel=params.ranks_per_channel,
+                banks_per_rank=params.num_banks // channels,
+            ),
+            sdram=params.sdram,
+            sram=params.sram,
+            cache_line_words=params.cache_line_words,
+            max_transactions=params.max_transactions,
+            num_vector_contexts=params.num_vector_contexts,
+            request_fifo_depth=params.request_fifo_depth,
+            fhc_latency=params.fhc_latency,
+            bus_turnaround=params.bus_turnaround,
+            bypass_paths=params.bypass_paths,
+            row_policy=params.row_policy,
+            issue_interval=params.issue_interval,
+            sim_mode=params.sim_mode,
+        )

@@ -45,8 +45,11 @@ __all__ = ["ResultCache", "SCHEMA_VERSION"]
 #: resolved ``sim_mode`` label and documents record the producing mode).
 #: Entries stamped differently — or not at all — are recomputed rather
 #: than reinterpreted, even if a key collision ever served one across
-#: versions.
-SCHEMA_VERSION = 3
+#: versions.  Version 4: keys and documents adopt the canonical
+#: ``GenParams.to_dict()`` config document (channel/rank topology and
+#: ``sram`` timing join the identity) and documents carry
+#: ``config``/``config_key``.
+SCHEMA_VERSION = 4
 
 
 def _valid_document(document) -> bool:

@@ -326,6 +326,8 @@ class ExperimentEngine:
                                 "sim_seconds": seconds,
                                 "attribution": attribution,
                                 "sim_mode": point.params.sim_mode,
+                                "config": point.params.to_dict(),
+                                "config_key": point.params.config_key(),
                                 "point": point.describe(),
                             },
                         )

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import List, Tuple, Union
 
 from repro.kernels import alignment_by_name, build_trace, kernel_by_name
+from repro.config import CONFIG_SCHEMA_VERSION
 from repro.params import SystemParams
 from repro.types import ExplicitCommand, VectorCommand
 
@@ -46,7 +47,12 @@ __all__ = [
 #: Version 3: SystemParams grew ``sim_mode`` (the resolved backend label
 #: lands in every point key through the params canonicalization) and
 #: cached documents record the producing mode.
-CACHE_SCHEMA_VERSION = 3
+#: Version 4: the key adopts the canonical ``GenParams.to_dict()``
+#: document (:data:`repro.config.CONFIG_SCHEMA_VERSION`) — nested
+#: topology/sdram/sram sub-documents, channel/rank geometry and ``sram``
+#: timing join the identity; the legacy boolean aliases leave it — and
+#: cached documents carry ``config``/``config_key``.
+CACHE_SCHEMA_VERSION = CONFIG_SCHEMA_VERSION
 
 
 @dataclass(frozen=True)
@@ -139,7 +145,7 @@ def point_key(point: ExperimentPoint, salt: str) -> str:
     material = {
         "salt": salt,
         "system": point.system,
-        "params": canonical(point.params),
+        "params": point.params.to_dict(),
         "trace": {
             "kind": type(point.trace).__name__,
             "spec": canonical(point.trace),

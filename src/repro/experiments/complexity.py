@@ -27,7 +27,12 @@ from repro.core.pla import pla_product_terms
 from repro.experiments.report import format_table
 from repro.params import SystemParams
 
-__all__ = ["PAPER_TABLE1", "ComplexityEstimate", "complexity_table"]
+__all__ = [
+    "PAPER_TABLE1",
+    "ComplexityEstimate",
+    "complexity_score",
+    "complexity_table",
+]
 
 #: Table 1 of the paper: synthesis summary of the unoptimized prototype.
 PAPER_TABLE1: Dict[str, object] = {
@@ -114,6 +119,22 @@ def estimate_bank_controller(params: SystemParams) -> ComplexityEstimate:
         k1_pla_terms=k1_terms,
         full_ki_pla_terms=ki_terms,
         flip_flop_estimate=ff,
+    )
+
+
+def complexity_score(params: SystemParams) -> int:
+    """Scalar hardware-cost figure for design-space ranking (the Pareto
+    x-axis of ``python -m repro explore``).
+
+    Sums, over every bank controller in the topology, the Table-1-style
+    sequential cost (flip-flop estimate) plus the K1 PLA product terms
+    (the dominant combinational block, section 4.3.1).  Staging RAM is
+    excluded: it is a dense SRAM macro whose bytes are not comparable
+    with random logic on one axis.
+    """
+    per_bank = estimate_bank_controller(params)
+    return params.num_banks * (
+        per_bank.flip_flop_estimate + per_bank.k1_pla_terms
     )
 
 

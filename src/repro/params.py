@@ -1,156 +1,60 @@
-"""Configuration objects describing the simulated machine.
+"""Compatibility façade over the configuration composition root.
 
-Two dataclasses capture everything the simulators need:
+The canonical configuration container is :class:`repro.config.GenParams`
+(which composes :class:`~repro.config.Topology`,
+:class:`~repro.config.SDRAMTiming`/:class:`~repro.config.SRAMTiming`,
+the bank-controller microarchitecture, ``row_policy`` and ``sim_mode``,
+and owns ``to_dict``/``from_dict``/``config_key``).  This module keeps
+the historical flat-field :class:`SystemParams` API that the rest of the
+repo (and downstream scripts) construct everywhere; every instance
+validates by building its :class:`~repro.config.GenParams` — available
+as :attr:`SystemParams.gen` — so the two can never disagree.
 
-* :class:`SDRAMTiming` — per-device timing and geometry of the SDRAM parts
-  (the paper drives Micron 256 Mbit x16 parts: 4 internal banks, RAS and CAS
-  latencies of two cycles at 100 MHz).
-* :class:`SystemParams` — the memory-system geometry around the devices:
-  number of interleaved banks, cache-line size, vector-bus limits, and the
-  bank-controller microarchitecture knobs (vector contexts, FIFO depth,
-  bypass paths).
-
-Both are frozen; experiments derive variants with :func:`dataclasses.replace`.
+Both classes are frozen; experiments derive variants with
+:func:`dataclasses.replace`.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 from functools import cached_property
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
+from repro.config import (
+    CONFIG_SCHEMA_VERSION,
+    ENV_SIM_MODE,
+    GenParams,
+    ROW_POLICIES,
+    SDRAMTiming,
+    SIM_MODES,
+    SRAMTiming,
+    Topology,
+    canonical_sim_mode,
+    is_power_of_two,
+    log2_exact,
+)
 from repro.errors import ConfigurationError
 from repro.types import WORD_BYTES
 
 __all__ = [
+    "CONFIG_SCHEMA_VERSION",
     "ENV_SIM_MODE",
+    "GenParams",
+    "ROW_POLICIES",
     "SDRAMTiming",
     "SIM_MODES",
     "SRAMTiming",
     "SystemParams",
+    "Topology",
     "is_power_of_two",
     "log2_exact",
 ]
 
-#: The four simulation backends, from slowest/most-literal to fastest.
-#: Each mode is bit-exact with the others (``RunResult`` equality is held
-#: by the differential suites); they differ only in how the machine is
-#: stepped:
-#:
-#: * ``"tick"`` — reference loop, every component ticked every cycle.
-#: * ``"skip"`` — next-event time skipping, incremental FirstHit expansion.
-#: * ``"precompute"`` — time skipping + broadcast-time hit schedules.
-#: * ``"soa"`` — precompute + the structure-of-arrays bank automaton:
-#:   all banks stepped as flat-array operations (:mod:`repro.pva.soa`).
-SIM_MODES = ("tick", "skip", "precompute", "soa")
-
-#: Environment variable overriding :attr:`SystemParams.sim_mode` at
-#: construction time (mirrors ``REPRO_TIME_SKIP`` for the run loop):
-#: any of :data:`SIM_MODES` forces that backend for every
-#: :class:`SystemParams` built while it is set; empty or ``auto`` defers
-#: to the configuration object.
-ENV_SIM_MODE = "REPRO_SIM_MODE"
-
-#: ``sim_mode`` -> (time_skip, precompute) aspects implied by each mode.
-_MODE_ASPECTS = {
-    "tick": (False, False),
-    "skip": (True, False),
-    "precompute": (True, True),
-    "soa": (True, True),
-}
-
-
-def is_power_of_two(value: int) -> bool:
-    """True iff ``value`` is a positive power of two."""
-    return value > 0 and (value & (value - 1)) == 0
-
-
-def log2_exact(value: int, what: str = "value") -> int:
-    """Return ``log2(value)`` for an exact power of two, else raise."""
-    if not is_power_of_two(value):
-        raise ConfigurationError(f"{what} must be a power of two, got {value}")
-    return value.bit_length() - 1
-
-
-@dataclass(frozen=True)
-class SDRAMTiming:
-    """Timing and geometry of one SDRAM bank (a 32-bit wide module built
-    from x16 parts, per section 5.1).
-
-    All latencies are in memory-bus clock cycles (100 MHz in the prototype).
-
-    Attributes
-    ----------
-    t_rcd:
-        RAS-to-CAS delay: cycles between a bank-activate (row open) and the
-        first column command to that row.  Paper: 2.
-    cas_latency:
-        Cycles between a READ command and its data appearing on the device
-        data pins.  Paper: 2.
-    t_rp:
-        Precharge period: cycles after a PRECHARGE before the internal bank
-        can be activated again.  Paper models 2.
-    t_wr:
-        Write recovery: cycles after the last write datum before a
-        precharge of the same internal bank may be issued.
-    internal_banks:
-        Independent banks (row buffers) inside one device.  Paper: 4.
-    row_words:
-        Row (page) size per internal bank in machine words.  A 2 KB page of
-        a 32-bit module is 512 words.
-    """
-
-    t_rcd: int = 2
-    cas_latency: int = 2
-    t_rp: int = 2
-    t_wr: int = 1
-    internal_banks: int = 4
-    row_words: int = 512
-    #: Auto-refresh period in cycles; 0 disables refresh, which is what
-    #: the paper's evaluation implicitly assumes.  A realistic 100 MHz
-    #: part refreshing 8192 rows every 64 ms needs one refresh per ~780
-    #: cycles.
-    refresh_interval: int = 0
-    #: Cycles one auto-refresh occupies the whole device (rows close,
-    #: no activates until it completes).
-    t_rfc: int = 8
-
-    def __post_init__(self) -> None:
-        for name in ("t_rcd", "cas_latency", "t_rp"):
-            if getattr(self, name) < 1:
-                raise ConfigurationError(f"{name} must be >= 1")
-        if self.t_wr < 0:
-            raise ConfigurationError("t_wr must be >= 0")
-        if self.refresh_interval < 0:
-            raise ConfigurationError("refresh_interval must be >= 0")
-        if self.t_rfc < 1:
-            raise ConfigurationError("t_rfc must be >= 1")
-        if not is_power_of_two(self.internal_banks):
-            raise ConfigurationError(
-                f"internal_banks must be a power of two, got {self.internal_banks}"
-            )
-        if not is_power_of_two(self.row_words):
-            raise ConfigurationError(
-                f"row_words must be a power of two, got {self.row_words}"
-            )
-
-    @property
-    def row_miss_penalty(self) -> int:
-        """Cycles added by a row conflict versus an open-row hit."""
-        return self.t_rp + self.t_rcd
-
-
-@dataclass(frozen=True)
-class SRAMTiming:
-    """Timing of the idealized SRAM used by the PVA-SRAM comparison system:
-    every access completes in ``access_cycles`` with no row state."""
-
-    access_cycles: int = 1
-
-    def __post_init__(self) -> None:
-        if self.access_cycles < 1:
-            raise ConfigurationError("access_cycles must be >= 1")
+_DEPRECATED_ALIAS_MESSAGE = (
+    "SystemParams(time_skip=..., precompute=...) is deprecated; pass "
+    "sim_mode='tick' | 'skip' | 'precompute' | 'soa' instead"
+)
 
 
 @dataclass(frozen=True)
@@ -158,9 +62,14 @@ class SystemParams:
     """Memory-system geometry and bank-controller microarchitecture.
 
     Defaults reproduce the paper's prototype (section 5.1): 16 banks of
-    word-interleaved 32-bit SDRAM, 128-byte L2 lines (32-word vector
-    commands), a split-transaction bus with 8 outstanding transactions,
-    and bank controllers with 4 vector contexts.
+    word-interleaved 32-bit SDRAM on one channel, 128-byte L2 lines
+    (32-word vector commands), a split-transaction bus with 8 outstanding
+    transactions, and bank controllers with 4 vector contexts.
+
+    ``num_banks`` is the **total** bank count across the whole topology;
+    with ``num_channels``/``ranks_per_channel`` above one it must be an
+    exact multiple so every rank hosts a power-of-two bank count
+    (``banks_per_rank = num_banks // (channels * ranks)``).
     """
 
     num_banks: int = 16
@@ -174,8 +83,10 @@ class SystemParams:
     fhc_latency: int = 2
     #: One dead cycle whenever the data-bus direction reverses (5.2.5).
     bus_turnaround: int = 1
+
     #: Data cycles to stage one cache line over the 128-bit BC bus
-    #: (128 bytes at 8 bytes per cycle = 16, section 5.2.6).
+    #: (128 bytes at 8 bytes per cycle = 16, section 5.2.6) — summed
+    #: over all channels.
     @property
     def stage_cycles(self) -> int:
         return (self.cache_line_words * WORD_BYTES) // 8
@@ -190,142 +101,126 @@ class SystemParams:
     #: 0 models the paper's infinitely fast CPU (section 6.2); larger
     #: values model a processor that produces commands at a finite rate.
     issue_interval: int = 0
-    #: Select the next-event time-skip run loop (the fast path): the
-    #: simulator jumps idle gaps instead of ticking through them.
-    #: Cycle-exact with the reference tick loop (False); the
-    #: ``REPRO_TIME_SKIP`` environment variable overrides this field.
-    #: Deprecated alias: prefer ``sim_mode``; ``None`` (the default)
-    #: inherits the aspect implied by ``sim_mode``.
+    #: Deprecated boolean alias for ``sim_mode`` (run-loop aspect).
+    #: Passing a bool emits a :class:`DeprecationWarning` and maps onto a
+    #: mode label; after construction the field is always ``None``.
     time_skip: Optional[bool] = None
-    #: Precompute each bank's full hit schedule (indices, local words and
-    #: decoded device coordinates) at broadcast time and run the bank
-    #: controllers on cursor reads plus quiet-cycle gating
-    #: (:mod:`repro.pva.schedule`).  Cycle-exact with the incremental
-    #: reference expansion (False); ``python -m repro bench`` carries a
-    #: ``precompute`` section cross-checking the two.
-    #: Deprecated alias: prefer ``sim_mode``; ``None`` (the default)
-    #: inherits the aspect implied by ``sim_mode``.
+    #: Deprecated boolean alias for ``sim_mode`` (hit-schedule aspect).
+    #: Same contract as ``time_skip``.
     precompute: Optional[bool] = None
     #: Which simulation backend steps the machine — one of
-    #: :data:`SIM_MODES`.  ``None`` resolves from the legacy boolean
-    #: aliases (both unset -> ``"precompute"``, today's default).  After
-    #: construction the field always holds the resolved canonical label,
-    #: so it is stable under :func:`dataclasses.replace` round-trips and
+    #: :data:`SIM_MODES`; ``None`` means the default (``"precompute"``).
+    #: After construction the field always holds the concrete label, so
+    #: it is stable under :func:`dataclasses.replace` round-trips and
     #: participates in hashing/equality like any other field.  The
     #: ``REPRO_SIM_MODE`` environment variable, when set to a mode name,
-    #: overrides both this field and the boolean aliases wholesale.
+    #: overrides this field wholesale.
     sim_mode: Optional[str] = None
+    #: Memory channels; the bank-select bits of a word address are
+    #: channel-interleaved (see :class:`repro.config.Topology`).
+    num_channels: int = 1
+    #: Ranks per channel (organizational: capacity, not timing).
+    ranks_per_channel: int = 1
+    #: Timing of the idealized SRAM device used by the PVA-SRAM system.
+    sram: SRAMTiming = field(default_factory=SRAMTiming)
 
     def __post_init__(self) -> None:
+        self._resolve_sim_mode()
         if not is_power_of_two(self.num_banks):
             raise ConfigurationError(
                 f"num_banks must be a power of two, got {self.num_banks}"
             )
-        if not is_power_of_two(self.cache_line_words):
+        ways = self.num_channels * self.ranks_per_channel
+        if not is_power_of_two(self.num_channels):
             raise ConfigurationError(
-                "cache_line_words must be a power of two, got "
-                f"{self.cache_line_words}"
+                f"num_channels must be a power of two, got {self.num_channels!r}"
             )
-        if self.max_transactions < 1:
-            raise ConfigurationError("max_transactions must be >= 1")
-        if self.max_transactions > 8:
+        if not is_power_of_two(self.ranks_per_channel):
             raise ConfigurationError(
-                "the vector bus carries a three-bit transaction id; "
-                f"max_transactions must be <= 8, got {self.max_transactions}"
+                "ranks_per_channel must be a power of two, got "
+                f"{self.ranks_per_channel!r}"
             )
-        if self.num_vector_contexts < 1:
-            raise ConfigurationError("num_vector_contexts must be >= 1")
-        if self.request_fifo_depth < self.max_transactions:
+        if self.num_banks % ways != 0 or self.num_banks < ways:
             raise ConfigurationError(
-                "the register file must hold as many entries as the bus "
-                "allows outstanding transactions (section 5.2.2): depth "
-                f"{self.request_fifo_depth} < {self.max_transactions}"
+                "channel/rank select bits overflow the bank bits: "
+                f"num_channels*ranks_per_channel={ways} does not divide "
+                f"num_banks={self.num_banks}"
             )
-        if self.fhc_latency < 1:
-            raise ConfigurationError("fhc_latency must be >= 1")
-        if self.bus_turnaround < 0:
-            raise ConfigurationError("bus_turnaround must be >= 0")
-        if self.issue_interval < 0:
-            raise ConfigurationError("issue_interval must be >= 0")
-        self._resolve_sim_mode()
+        # Build (and cache) the canonical container eagerly: its
+        # validation is the single source of truth for every remaining
+        # cross-field rule.
+        self.gen
 
     def _resolve_sim_mode(self) -> None:
-        """Resolve ``sim_mode`` and its legacy boolean aliases into a
-        concrete, mutually consistent triple.
+        """Fold the deprecated ``time_skip``/``precompute`` aliases into
+        a concrete ``sim_mode`` label.
 
-        Resolution order (later wins):
+        * Booleans alone (``sim_mode=None``) warn and map onto the mode
+          ladder: loop off -> ``"tick"``; schedules off -> ``"skip"``;
+          both on -> ``"precompute"``.
+        * Booleans *plus* an explicit ``sim_mode`` are a contradiction
+          and raise (the old silent alias-precedence rule is gone).
+        * After resolution both aliases are reset to ``None`` so
+          equality, hashing and :func:`dataclasses.replace` round-trips
+          see only the label.
 
-        1. ``sim_mode`` supplies defaults for both aspects via the mode
-           ladder (tick -> skip -> precompute -> soa);
-        2. an explicitly passed ``time_skip``/``precompute`` boolean
-           overrides its aspect (back-compat with pre-``sim_mode``
-           callers and ``dataclasses.replace`` round-trips);
-        3. the ``REPRO_SIM_MODE`` environment variable, when set to a
-           mode name, overrides everything wholesale.
-
-        The stored ``sim_mode`` is recomputed from the resolved aspects
-        so the field always carries the canonical label for what will
-        actually run; the frozen-dataclass writes go through
-        ``object.__setattr__`` (standard ``__post_init__`` idiom).
+        The ``REPRO_SIM_MODE`` environment variable, when set to a mode
+        name, overrides the result wholesale.  The frozen-dataclass
+        writes go through ``object.__setattr__`` (standard
+        ``__post_init__`` idiom).
         """
         mode = self.sim_mode
-        if mode is not None and mode not in _MODE_ASPECTS:
+        if mode is not None and mode not in SIM_MODES:
             raise ConfigurationError(
                 f"sim_mode must be one of {SIM_MODES}, got {mode!r}"
             )
+        aliased = False
         for alias in ("time_skip", "precompute"):
             value = getattr(self, alias)
-            if value is not None and not isinstance(value, bool):
+            if value is None:
+                continue
+            if not isinstance(value, bool):
                 raise ConfigurationError(
                     f"{alias} must be a bool or None, got {value!r}"
                 )
-        env = os.environ.get(ENV_SIM_MODE)
-        forced = None
-        if env is not None:
-            env = env.strip().lower()
-            if env and env != "auto":
-                if env not in _MODE_ASPECTS:
-                    raise ConfigurationError(
-                        f"{ENV_SIM_MODE} must be one of {SIM_MODES} "
-                        f"(or empty/'auto'), got {env!r}"
-                    )
-                forced = env
-        if forced is not None:
-            time_skip, precompute = _MODE_ASPECTS[forced]
-            soa = forced == "soa"
-        else:
-            if mode is None:
-                # Legacy default: both aspects on (today's behaviour).
-                time_skip = True if self.time_skip is None else self.time_skip
-                precompute = (
-                    True if self.precompute is None else self.precompute
-                )
-                soa = False
-            else:
-                mode_skip, mode_pre = _MODE_ASPECTS[mode]
-                time_skip = (
-                    mode_skip if self.time_skip is None else self.time_skip
-                )
-                precompute = (
-                    mode_pre if self.precompute is None else self.precompute
-                )
-                soa = mode == "soa"
-            if soa and not precompute:
+            aliased = True
+        if aliased:
+            warnings.warn(
+                _DEPRECATED_ALIAS_MESSAGE, DeprecationWarning, stacklevel=4
+            )
+            if mode is not None:
                 raise ConfigurationError(
-                    "sim_mode='soa' steps banks from precomputed hit "
-                    "schedules; precompute=False is incompatible"
+                    "pass either sim_mode or the legacy time_skip/"
+                    "precompute booleans, not both "
+                    f"(got sim_mode={mode!r}, time_skip={self.time_skip!r}, "
+                    f"precompute={self.precompute!r})"
                 )
-        if soa:
-            label = "soa"
-        elif precompute:
-            label = "precompute"
-        elif time_skip:
-            label = "skip"
-        else:
-            label = "tick"
-        object.__setattr__(self, "time_skip", time_skip)
-        object.__setattr__(self, "precompute", precompute)
-        object.__setattr__(self, "sim_mode", label)
+            time_skip = True if self.time_skip is None else self.time_skip
+            precompute = True if self.precompute is None else self.precompute
+            if not time_skip:
+                mode = "tick"
+            elif not precompute:
+                mode = "skip"
+            else:
+                mode = "precompute"
+        elif mode is None:
+            mode = "precompute"
+        mode = canonical_sim_mode(mode)
+        object.__setattr__(self, "time_skip", None)
+        object.__setattr__(self, "precompute", None)
+        object.__setattr__(self, "sim_mode", mode)
+
+    @cached_property
+    def gen(self) -> GenParams:
+        """The canonical :class:`~repro.config.GenParams` this façade
+        forwards to (built once; ``cached_property`` writes through the
+        instance ``__dict__``, which frozen dataclasses allow and
+        equality/hash ignore)."""
+        return GenParams.from_system_params(self)
+
+    @property
+    def topology(self) -> Topology:
+        return self.gen.topology
 
     @cached_property
     def bank_bits(self) -> int:
@@ -338,31 +233,70 @@ class SystemParams:
         return self.cache_line_words * WORD_BYTES
 
     @property
+    def channel_stage_cycles(self) -> int:
+        """Data cycles one *channel* is occupied staging its share of a
+        cache line (= ``stage_cycles // num_channels``)."""
+        return self.stage_cycles // self.num_channels
+
+    @property
     def max_vector_length(self) -> int:
         """Longest vector one bus command may carry (one cache line)."""
         return self.cache_line_words
+
+    @property
+    def uses_time_skip(self) -> bool:
+        """Whether this mode runs the next-event skip loop (every mode
+        except the reference ``tick`` loop)."""
+        return self.sim_mode != "tick"
+
+    @property
+    def uses_precompute(self) -> bool:
+        """Whether this mode expands broadcast-time hit schedules
+        (:mod:`repro.pva.schedule`)."""
+        return self.sim_mode in ("precompute", "soa")
 
     def with_banks(self, num_banks: int) -> "SystemParams":
         """A copy of these parameters with a different bank count."""
         return replace(self, num_banks=num_banks)
 
+    # ---------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical config document (:meth:`GenParams.to_dict`)."""
+        return self.gen.to_dict()
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "SystemParams":
+        """Rebuild a façade from a canonical config document."""
+        return GenParams.from_dict(doc).to_system_params()
+
+    def config_key(self) -> str:
+        """Stable content hash of the canonical config document."""
+        return self.gen.config_key()
+
     def describe(self) -> Dict[str, object]:
-        """Flat summary used by reports and benchmarks."""
-        return {
-            "sim_mode": self.sim_mode,
-            "num_banks": self.num_banks,
-            "cache_line_words": self.cache_line_words,
-            "max_transactions": self.max_transactions,
-            "num_vector_contexts": self.num_vector_contexts,
-            "request_fifo_depth": self.request_fifo_depth,
-            "t_rcd": self.sdram.t_rcd,
-            "cas_latency": self.sdram.cas_latency,
-            "t_rp": self.sdram.t_rp,
-            "internal_banks": self.sdram.internal_banks,
-            "row_words": self.sdram.row_words,
-            "fhc_latency": self.fhc_latency,
-            "stage_cycles": self.stage_cycles,
-        }
+        """Flat summary used by reports and benchmarks.
+
+        Derived by flattening the canonical :meth:`to_dict` document —
+        every config field appears exactly once (so the summary can
+        never silently omit a knob again) plus the handful of derived
+        geometry values reports historically relied on.
+        """
+        doc = self.to_dict()
+        flat: Dict[str, object] = {"sim_mode": doc["sim_mode"]}
+        flat["num_banks"] = self.num_banks
+        for name, value in doc["topology"].items():
+            flat[name] = value
+        for name, value in doc.items():
+            if name in ("schema_version", "topology", "sdram", "sram", "sim_mode"):
+                continue
+            flat[name] = value
+        for name, value in doc["sdram"].items():
+            flat[name] = value
+        flat["sram_access_cycles"] = doc["sram"]["access_cycles"]
+        flat["stage_cycles"] = self.stage_cycles
+        flat["channel_stage_cycles"] = self.channel_stage_cycles
+        return flat
 
 
 # The canonical prototype configuration used throughout the evaluation.

@@ -67,7 +67,7 @@ class BankController:
         self.time_skip = False
         #: The PR's tick-mode fast path: reuse the quiet/stall gating the
         #: skip loop already proves cycle-exact, even under plain ticking.
-        self.fast_gating = params.precompute
+        self.fast_gating = params.uses_precompute
         #: Did the last tick() change any state (refresh, dequeue, row or
         #: column operation)?  The system component reads this instead of
         #: diffing operation counters.
@@ -77,7 +77,7 @@ class BankController:
         #: request on the incremental expansion path.
         self._geom = (
             getattr(device, "schedule_geometry", None)
-            if params.precompute
+            if params.uses_precompute
             else None
         )
         #: Refresh is consulted per tick only when the device actually

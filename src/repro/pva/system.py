@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.decode import TopologyDecoder
 from repro.core.pla import shared_k1_pla
 from repro.errors import ConfigurationError, ProtocolError, VectorSpecError
 from repro.interleave.logical import LogicalBankView
@@ -426,6 +427,14 @@ class PVAMemorySystem:
         )
         self._device_factory = device_factory
         self._pla = shared_k1_pla(self.params.num_banks)
+        #: Channel/rank-aware decode of the word-interleaved topology
+        #: (None under a non-word interleave scheme, which predates the
+        #: topology layer and stays single-channel).
+        self.decoder: Optional[TopologyDecoder] = (
+            TopologyDecoder(self.params.topology)
+            if self.interleave is None
+            else None
+        )
         #: Live structure-of-arrays backend during a sim_mode="soa" run
         #: (broadcasts route to it instead of the bank controllers).
         self._soa: Optional[SoaBankAutomaton] = None
@@ -474,6 +483,17 @@ class PVAMemorySystem:
             )
         bank = address & (self.params.num_banks - 1)
         return bank, address >> self.params.bank_bits
+
+    def locate(self, address: int):
+        """Full physical decode of ``address`` — the system-wide bank
+        plus its (channel, rank, bank-within-rank) coordinates.  Only
+        defined for the word-interleaved topology path."""
+        if self.decoder is None:
+            raise ConfigurationError(
+                "locate() needs the word-interleaved topology decoder; "
+                "this system runs a custom interleave scheme"
+            )
+        return self.decoder.coordinates(address)
 
     def poke(self, address: int, value: int) -> None:
         """Write one word directly into the backing storage."""

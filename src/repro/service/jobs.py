@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.engine import ExperimentPoint, KernelTraceSpec
+from repro.params import SystemParams
 
 __all__ = [
     "JobState",
@@ -64,6 +65,13 @@ class JobSpec:
     * ``grid`` — ``systems``, ``kernels``, ``strides``, ``alignments``,
       ``elements`` (lists; the cross product is the point set);
     * ``bench`` — ``quick``, ``repeats``, ``systems``.
+
+    ``simulate`` and ``grid`` payloads additionally accept ``params``:
+    a canonical :meth:`repro.params.SystemParams.to_dict` document that
+    configures every point of the job.  Because the journal stores the
+    payload verbatim, the full resolved configuration (topology, device
+    timing, sim_mode) survives crash recovery and replays to an
+    identical ``config_key``.
     """
 
     kind: str
@@ -131,6 +139,12 @@ def spec_points(spec: JobSpec) -> List[ExperimentPoint]:
     function only shapes the payload.
     """
     payload = spec.payload
+    params_doc = payload.get("params")
+    params = (
+        SystemParams.from_dict(params_doc)
+        if params_doc is not None
+        else SystemParams()
+    )
     if spec.kind == "simulate":
         return [
             ExperimentPoint(
@@ -141,6 +155,7 @@ def spec_points(spec: JobSpec) -> List[ExperimentPoint]:
                     alignment=str(payload.get("alignment", "aligned")),
                     elements=int(payload.get("elements", 1024)),
                 ),
+                params=params,
             )
         ]
     if spec.kind == "grid":
@@ -158,6 +173,7 @@ def spec_points(spec: JobSpec) -> List[ExperimentPoint]:
                     alignment=str(alignment),
                     elements=elements,
                 ),
+                params=params,
             )
             for system, kernel, stride, alignment in itertools.product(
                 systems, kernels, strides, alignments

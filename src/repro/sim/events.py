@@ -25,7 +25,7 @@ The contract every bound must honour:
 
 Because skipped cycles are exactly the iterations in which the reference
 tick loop performs no state change, the fast path is cycle-exact with
-``SystemParams.time_skip=False`` — the differential suite in
+``SystemParams(sim_mode="tick")`` — the differential suite in
 ``tests/sim/test_time_skip_equivalence.py`` holds the two loops to
 byte-identical :class:`~repro.sim.stats.RunResult`\\ s.
 """
@@ -40,7 +40,8 @@ __all__ = ["HORIZON", "time_skip_enabled"]
 #: (not ``float('inf')``) so arithmetic on simulated cycles stays exact.
 HORIZON = 1 << 62
 
-#: Environment variable overriding :attr:`SystemParams.time_skip`:
+#: Environment variable overriding the run-loop aspect of
+#: :attr:`SystemParams.sim_mode`:
 #: ``0``/``off``/``false``/``no`` forces the reference tick loop,
 #: any other non-empty value (except ``auto``) forces the fast path.
 ENV_TOGGLE = "REPRO_TIME_SKIP"
@@ -58,4 +59,4 @@ def time_skip_enabled(params) -> bool:
     env = os.environ.get(ENV_TOGGLE)
     if env is not None and env != "" and env.lower() != "auto":
         return env.lower() not in _FALSY
-    return params.time_skip
+    return params.uses_time_skip

@@ -1,0 +1,73 @@
+"""Channel/rank address decode: TopologyDecoder and PVA ``locate()``."""
+
+import pytest
+
+from repro.api import build_system
+from repro.config import Topology
+from repro.core.decode import BankCoordinates, TopologyDecoder
+from repro.errors import ConfigurationError
+from repro.params import SystemParams
+
+
+class TestTopologyDecoder:
+    def test_word_interleave_prototype(self):
+        decoder = TopologyDecoder(Topology())
+        assert decoder.bank_of(0) == 0
+        assert decoder.bank_of(17) == 1
+        assert decoder.channel_of(17) == 0  # single channel
+        coords = decoder.coordinates(37)
+        assert coords == BankCoordinates(
+            bank=5, channel=0, rank=0, bank_in_rank=5, local_word=2
+        )
+
+    def test_channel_interleaved_words(self):
+        # Two channels: consecutive word addresses alternate channels.
+        decoder = TopologyDecoder(
+            Topology(num_channels=2, ranks_per_channel=1, banks_per_rank=8)
+        )
+        assert [decoder.channel_of(a) for a in range(6)] == [0, 1, 0, 1, 0, 1]
+
+    def test_full_coordinates_with_ranks(self):
+        topo = Topology(
+            num_channels=2, ranks_per_channel=2, banks_per_rank=4
+        )
+        decoder = TopologyDecoder(topo)
+        for address in range(64):
+            coords = decoder.coordinates(address)
+            assert coords.bank == address % 16
+            assert coords.channel == coords.bank & 1
+            assert coords.rank == (coords.bank >> 1) & 1
+            assert coords.bank_in_rank == coords.bank >> 2
+            assert coords.local_word == address // 16
+
+    def test_block_interleave(self):
+        decoder = TopologyDecoder(
+            Topology(num_channels=2, banks_per_rank=8), block_words=4
+        )
+        # Four consecutive words share a bank before the next takes over.
+        assert [decoder.bank_of(a) for a in range(0, 16, 4)] == [0, 1, 2, 3]
+
+
+class TestSystemLocate:
+    def test_locate_matches_the_simulators_bank_decode(self):
+        params = SystemParams(num_channels=2, ranks_per_channel=2)
+        system = build_system("pva-sdram", params)
+        coords = system.locate(21)
+        assert coords.bank == 21 % 16
+        assert coords.channel == coords.bank & 1
+        # locate() agrees with where simulation actually routes words.
+        assert coords.bank == system.decoder.bank_of(21)
+
+    def test_locate_rejected_under_custom_interleave(self):
+        from repro.interleave import InterleaveScheme
+        from repro.pva.system import PVAMemorySystem
+
+        params = SystemParams()
+        system = PVAMemorySystem(
+            params,
+            interleave=InterleaveScheme.cache_line(
+                params.num_banks, params.cache_line_words
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            system.locate(0)

@@ -15,7 +15,6 @@ Three obligations:
 """
 
 import random
-from dataclasses import replace
 
 import pytest
 
@@ -234,21 +233,24 @@ def test_degenerate_stride_hits_base_bank_only():
         assert hits[5].indices == tuple(range(7))
 
 
-def test_precompute_toggle_is_cycle_exact():
-    """precompute=True and precompute=False must produce bit-identical
-    RunResults (cycles, latencies, device stats and attribution) — the
-    schedule is a representation change, not a timing change."""
+def test_precompute_toggle_is_cycle_exact(monkeypatch):
+    """sim_mode="precompute" and sim_mode="skip" must produce
+    bit-identical RunResults (cycles, latencies, device stats and
+    attribution) — the schedule is a representation change, not a timing
+    change.  The ``REPRO_TIME_SKIP`` toggle forces each pairing onto
+    both run loops (the schedules are loop-agnostic)."""
     from repro.kernels import alignment_by_name, build_trace, kernel_by_name
     from repro.pva.system import PVAMemorySystem
+    from repro.sim.events import ENV_TOGGLE
 
-    for time_skip in (False, True):
-        base_params = replace(SystemParams(), time_skip=time_skip)
+    for loop_env in ("0", "1"):
+        monkeypatch.setenv(ENV_TOGGLE, loop_env)
         for kernel, alignment in (("copy", "aligned"),
                                   ("saxpy", "row-conflict")):
             for stride in (1, 8, 19):
                 results = []
-                for precompute in (True, False):
-                    params = replace(base_params, precompute=precompute)
+                for sim_mode in ("precompute", "skip"):
+                    params = SystemParams(sim_mode=sim_mode)
                     trace = build_trace(
                         kernel_by_name(kernel),
                         stride=stride,

@@ -101,6 +101,43 @@ class TestSpecPoints:
         with pytest.raises(ConfigurationError):
             spec_points(JobSpec(kind="bench", payload={}))
 
+    def test_params_document_configures_every_point(self):
+        from repro.params import SystemParams
+
+        params = SystemParams(num_banks=8, num_channels=2, sim_mode="soa")
+        points = spec_points(
+            JobSpec(
+                kind="grid",
+                payload={
+                    "kernels": ["copy", "scale"],
+                    "strides": [1, 19],
+                    "params": params.to_dict(),
+                },
+            )
+        )
+        assert len(points) == 4
+        for point in points:
+            assert point.params == params
+            assert point.params.config_key() == params.config_key()
+
+    def test_params_document_survives_a_json_round_trip(self):
+        # The journal stores the payload as JSON; replay must rebuild
+        # the identical configuration.
+        from repro.params import SystemParams
+
+        params = SystemParams(num_channels=2, row_policy="close")
+        payload = json.loads(
+            json.dumps({"kernel": "copy", "params": params.to_dict()})
+        )
+        (point,) = spec_points(_spec(payload=payload))
+        assert point.params == params
+
+    def test_bad_params_document_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_points(
+                _spec(payload={"kernel": "copy", "params": {"turbo": 1}})
+            )
+
 
 class TestJobLifecycle:
     def test_starts_queued_with_a_short_id(self):

@@ -56,10 +56,14 @@ def test_paper_sweep_bit_identical(system, kernel):
 
 
 @pytest.mark.parametrize("system", PVA_SYSTEMS)
-def test_tick_loop_equivalence(system):
+def test_tick_loop_equivalence(system, monkeypatch):
     """The automaton is loop-agnostic: under the reference tick loop
-    (``time_skip=False``) it still matches the object backend."""
-    base = SystemParams(time_skip=False)
+    (forced via ``REPRO_TIME_SKIP=0``) it still matches the object
+    backend."""
+    from repro.sim.events import ENV_TOGGLE
+
+    monkeypatch.setenv(ENV_TOGGLE, "0")
+    base = SystemParams()
     trace = build_trace(
         kernel_by_name("saxpy"), stride=19, elements=256, params=base
     )
@@ -157,13 +161,17 @@ def _random_trace(rng):
     return commands
 
 
-def test_fuzzed_geometries_and_state_carry():
+def test_fuzzed_geometries_and_state_carry(monkeypatch):
     """Randomized geometries, timings, policies, refresh, context and
-    FIFO depths, both PVA systems, fresh runs AND back-to-back runs on
+    FIFO depths, both PVA systems, both run loops (via the
+    ``REPRO_TIME_SKIP`` toggle), fresh runs AND back-to-back runs on
     one system object (the writeback path must leave the object graph
     exactly as the object backend would)."""
+    from repro.sim.events import ENV_TOGGLE
+
     rng = random.Random(20260808)
     for trial in range(60):
+        monkeypatch.setenv(ENV_TOGGLE, "1" if rng.random() < 0.8 else "0")
         num_banks = rng.choice([1, 2, 4, 8, 16])
         max_transactions = rng.randint(1, 8)
         sdram = dict(
@@ -186,7 +194,6 @@ def test_fuzzed_geometries_and_state_carry():
             bypass_paths=rng.random() < 0.5,
             row_policy=rng.choice(ROW_POLICIES),
             issue_interval=rng.choice([0, 0, 17, 256]),
-            time_skip=rng.random() < 0.8,  # both run loops
         )
         base = replace(base, sdram=replace(base.sdram, **sdram))
         system = rng.choice(PVA_SYSTEMS)

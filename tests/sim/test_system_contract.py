@@ -67,13 +67,13 @@ class TestSystemContract:
         summary = result.attribution_summary()
         assert set(summary) == set(result.attribution)
 
-    @pytest.mark.parametrize("time_skip", [False, True])
-    def test_honors_watchdog(self, system, prototype_params, time_skip):
+    @pytest.mark.parametrize("sim_mode", ["tick", "skip"])
+    def test_honors_watchdog(self, system, prototype_params, sim_mode):
         """An impossibly small cycle budget must surface as a contained
         SimulationTimeout in both run-loop modes — never a hang."""
         from dataclasses import replace
 
-        params = replace(prototype_params, time_skip=time_skip)
+        params = replace(prototype_params, sim_mode=sim_mode)
         trace = _trace(params)
         with simulation_limits(max_cycles_per_command=1):
             with pytest.raises(SimulationTimeout):

@@ -1,8 +1,8 @@
 """Differential tests: the event-driven cycle-skipping run loop must be
 cycle-exact with the reference tick loop.
 
-Every test runs the same trace twice — ``time_skip=False`` (the
-cycle-by-cycle reference) and ``time_skip=True`` (the next-event
+Every test runs the same trace twice — ``sim_mode="tick"`` (the
+cycle-by-cycle reference) and ``sim_mode="skip"`` (the next-event
 fast path) — and asserts the two :class:`~repro.sim.stats.RunResult`
 objects are **equal**, which covers cycle counts, per-command latencies,
 device statistics, bus statistics, and (with ``capture_data=True``) the
@@ -35,13 +35,13 @@ def _no_env_override(monkeypatch):
 def assert_modes_agree(trace, params, system, capture_data=False):
     tick = simulate(
         trace,
-        replace(params, time_skip=False),
+        replace(params, sim_mode="tick"),
         system=system,
         capture_data=capture_data,
     )
     skip = simulate(
         trace,
-        replace(params, time_skip=True),
+        replace(params, sim_mode="skip"),
         system=system,
         capture_data=capture_data,
     )
@@ -173,7 +173,7 @@ class TestEnvOverride:
         monkeypatch.delenv(ENV_TOGGLE)
         reference = simulate(
             trace,
-            replace(prototype_params, time_skip=False),
+            replace(prototype_params, sim_mode="tick"),
             system="pva-sdram",
         )
         assert forced == reference
@@ -182,7 +182,7 @@ class TestEnvOverride:
         from repro.sim.events import time_skip_enabled
 
         monkeypatch.setenv(ENV_TOGGLE, "1")
-        assert time_skip_enabled(replace(prototype_params, time_skip=False))
+        assert time_skip_enabled(replace(prototype_params, sim_mode="tick"))
 
     def test_auto_defers_to_params(self, monkeypatch, prototype_params):
         from repro.sim.events import time_skip_enabled
@@ -190,5 +190,5 @@ class TestEnvOverride:
         monkeypatch.setenv(ENV_TOGGLE, "auto")
         assert time_skip_enabled(prototype_params)
         assert not time_skip_enabled(
-            replace(prototype_params, time_skip=False)
+            replace(prototype_params, sim_mode="tick")
         )

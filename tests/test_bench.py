@@ -86,10 +86,23 @@ class TestRunBench:
     def test_precompute_section_surfaces_measured_baseline(self, quick_report):
         entry = quick_report["precompute"]
         assert (
-            entry["measured_tick_cycles_per_second"]
+            entry["measured_incremental_cycles_per_second"]
             == entry["incremental_cycles_per_second"]
         )
         assert entry["baseline_tick_cycles_per_second"] == 18099.8
+
+    def test_report_header_records_canonical_config(self, quick_report):
+        from repro.params import SystemParams
+
+        config = quick_report["config"]
+        assert config["topology"] == {
+            "num_channels": 1,
+            "ranks_per_channel": 1,
+            "banks_per_rank": 16,
+        }
+        assert quick_report["config_key"] == (
+            SystemParams.from_dict(config).config_key()
+        )
 
     def test_env_overrides_suspended_during_bench(self, monkeypatch):
         # A forced global mode must not leak into the benchmark's

@@ -111,49 +111,121 @@ class TestSystemParams:
         assert description["stage_cycles"] == 16
         assert description["t_rcd"] == 2
 
+    def test_describe_covers_every_config_knob(self):
+        """The summary is derived from the canonical to_dict() — the
+        knobs it historically omitted must all be present."""
+        description = SystemParams().describe()
+        for key, value in {
+            "row_policy": "paper",
+            "bypass_paths": True,
+            "bus_turnaround": 1,
+            "issue_interval": 0,
+            "t_wr": 1,
+            "refresh_interval": 0,
+            "t_rfc": 8,
+            "num_channels": 1,
+            "ranks_per_channel": 1,
+            "banks_per_rank": 16,
+            "sram_access_cycles": 1,
+            "channel_stage_cycles": 16,
+        }.items():
+            assert description[key] == value, key
+
+    def test_describe_distinguishes_formerly_invisible_variants(self):
+        base = SystemParams()
+        for variant in (
+            SystemParams(row_policy="close"),
+            SystemParams(bypass_paths=False),
+            SystemParams(bus_turnaround=2),
+            SystemParams(issue_interval=7),
+        ):
+            assert variant.describe() != base.describe()
+
+    def test_topology_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemParams(num_channels=3)
+        with pytest.raises(ConfigurationError):
+            SystemParams(ranks_per_channel=0)
+        with pytest.raises(ConfigurationError):
+            # 32 channel/rank ways cannot fit in 16 banks.
+            SystemParams(num_banks=16, num_channels=32)
+        with pytest.raises(ConfigurationError):
+            # 8 channels cannot split an 8-word line's 4 stage cycles.
+            SystemParams(cache_line_words=8, num_banks=8, num_channels=8)
+
+    def test_channel_stage_cycles(self):
+        assert SystemParams().channel_stage_cycles == 16
+        assert SystemParams(num_channels=2).channel_stage_cycles == 8
+        assert SystemParams(num_channels=4).channel_stage_cycles == 4
+
+    def test_topology_property(self):
+        topo = SystemParams(num_channels=2, ranks_per_channel=2).topology
+        assert topo.num_channels == 2
+        assert topo.ranks_per_channel == 2
+        assert topo.banks_per_rank == 4
+        assert topo.total_banks == 16
+
 
 class TestSimMode:
-    """The validated sim_mode ladder and its legacy boolean aliases."""
+    """The validated sim_mode ladder and its deprecated boolean aliases."""
 
     def test_default_resolves_to_precompute(self):
         params = SystemParams()
         assert params.sim_mode == "precompute"
-        assert params.time_skip is True
-        assert params.precompute is True
+        # The deprecated alias fields are always folded away.
+        assert params.time_skip is None
+        assert params.precompute is None
 
     def test_mode_ladder_implies_aspects(self):
-        assert SystemParams(sim_mode="tick").time_skip is False
-        assert SystemParams(sim_mode="tick").precompute is False
-        assert SystemParams(sim_mode="skip").time_skip is True
-        assert SystemParams(sim_mode="skip").precompute is False
+        assert SystemParams(sim_mode="tick").uses_time_skip is False
+        assert SystemParams(sim_mode="tick").uses_precompute is False
+        assert SystemParams(sim_mode="skip").uses_time_skip is True
+        assert SystemParams(sim_mode="skip").uses_precompute is False
+        pre = SystemParams(sim_mode="precompute")
+        assert pre.uses_time_skip is True
+        assert pre.uses_precompute is True
         soa = SystemParams(sim_mode="soa")
-        assert soa.time_skip is True
-        assert soa.precompute is True
+        assert soa.uses_time_skip is True
+        assert soa.uses_precompute is True
         assert soa.sim_mode == "soa"
 
     def test_invalid_mode_rejected(self):
         with pytest.raises(ConfigurationError):
             SystemParams(sim_mode="warp")
 
-    def test_legacy_booleans_still_resolve_a_label(self):
-        assert SystemParams(time_skip=False, precompute=False).sim_mode == "tick"
-        assert SystemParams(time_skip=True, precompute=False).sim_mode == "skip"
-        assert (
-            SystemParams(time_skip=False, precompute=True).sim_mode
-            == "precompute"
-        )
+    def test_legacy_booleans_warn_and_map_onto_the_ladder(self):
+        cases = {
+            (False, False): "tick",
+            (False, True): "tick",
+            (True, False): "skip",
+            (True, True): "precompute",
+            (False, None): "tick",
+            (True, None): "precompute",
+            (None, False): "skip",
+            (None, True): "precompute",
+        }
+        for (time_skip, precompute), expected in cases.items():
+            with pytest.deprecated_call():
+                params = SystemParams(
+                    time_skip=time_skip, precompute=precompute
+                )
+            assert params.sim_mode == expected, (time_skip, precompute)
+            assert params.time_skip is None
+            assert params.precompute is None
 
-    def test_explicit_boolean_overrides_mode_aspect(self):
-        # Back-compat: replace(params, time_skip=False) on a precompute
-        # config drops to the tick loop but keeps the schedule tables.
-        params = SystemParams(sim_mode="precompute", time_skip=False)
-        assert params.time_skip is False
-        assert params.precompute is True
-        assert params.sim_mode == "precompute"
+    def test_boolean_alias_plus_sim_mode_is_a_contradiction(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                SystemParams(sim_mode="precompute", time_skip=False)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                SystemParams(sim_mode="soa", precompute=False)
 
-    def test_soa_requires_precompute(self):
-        with pytest.raises(ConfigurationError):
-            SystemParams(sim_mode="soa", precompute=False)
+    def test_legacy_equals_modern_construction(self):
+        with pytest.deprecated_call():
+            legacy = SystemParams(time_skip=True, precompute=False)
+        assert legacy == SystemParams(sim_mode="skip")
+        assert hash(legacy) == hash(SystemParams(sim_mode="skip"))
 
     def test_replace_round_trip_is_stable(self):
         from dataclasses import replace
@@ -162,6 +234,8 @@ class TestSimMode:
             params = SystemParams(sim_mode=mode)
             again = replace(params, num_banks=8)
             assert again.sim_mode == mode
+            # ... and switching modes via replace() needs no aliases.
+            assert replace(params, sim_mode="tick").sim_mode == "tick"
 
     def test_hashable_and_equal(self):
         a = SystemParams(sim_mode="soa")
@@ -176,8 +250,8 @@ class TestSimMode:
         monkeypatch.setenv(ENV_SIM_MODE, "soa")
         params = SystemParams(sim_mode="tick")
         assert params.sim_mode == "soa"
-        assert params.time_skip is True
-        assert params.precompute is True
+        assert params.uses_time_skip is True
+        assert params.uses_precompute is True
         monkeypatch.setenv(ENV_SIM_MODE, "auto")
         assert SystemParams(sim_mode="tick").sim_mode == "tick"
         monkeypatch.setenv(ENV_SIM_MODE, "hyperdrive")
