@@ -181,6 +181,8 @@ class TestBenchCLI:
                 "1",
                 "--system",
                 "pva-sdram",
+                "--out",
+                "",
                 "--min-soa-speedup",
                 "1000",
             ]
@@ -200,6 +202,8 @@ class TestBenchCLI:
                 "1",
                 "--system",
                 "cacheline-serial",
+                "--out",
+                "",
                 "--min-soa-speedup",
                 "0.1",
             ]
