@@ -353,8 +353,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help=(
             "exit non-zero unless the hit-schedule precompute path's "
-            "dense-slice tick rate is at least X times the recorded "
-            "pre-precompute baseline"
+            "dense-slice tick rate is at least X times the incremental "
+            "expansion rate measured in the same run"
         ),
     )
     bench_parser.add_argument(
@@ -365,7 +365,36 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "exit non-zero unless the structure-of-arrays bank "
             "automaton's dense-slice rate is at least X times the "
-            "recorded pre-SoA baseline"
+            "precompute rate measured in the same run"
+        ),
+    )
+    bench_parser.add_argument(
+        "--min-window-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "exit non-zero unless the closed-form window backend's "
+            "dense-slice rate is at least X times the SoA rate "
+            "measured in the same run"
+        ),
+    )
+    bench_parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="FILE",
+        help=(
+            "append a one-line summary record per published run "
+            "('' to skip; only written when --out is non-empty)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--profile",
+        default="",
+        metavar="DIR",
+        help=(
+            "write per-section cProfile summaries (top 25 by "
+            "cumulative time) into DIR"
         ),
     )
 

@@ -70,10 +70,12 @@ __all__ = [
 #: the engine cache schema).  v4: GenParams/Topology introduction —
 #: nested device/topology documents, ``sram`` timing and channel/rank
 #: geometry join the schema; the legacy ``time_skip``/``precompute``
-#: aliases leave it.
-CONFIG_SCHEMA_VERSION = 4
+#: aliases leave it.  v5: ``"window"`` joins the ``sim_mode`` ladder —
+#: cached result documents record the producing mode, so the enum
+#: widening must invalidate them.
+CONFIG_SCHEMA_VERSION = 5
 
-#: The four simulation backends, from slowest/most-literal to fastest.
+#: The five simulation backends, from slowest/most-literal to fastest.
 #: Each mode is bit-exact with the others (``RunResult`` equality is
 #: held by the differential suites); they differ only in how the
 #: machine is stepped:
@@ -83,7 +85,11 @@ CONFIG_SCHEMA_VERSION = 4
 #: * ``"precompute"`` — time skipping + broadcast-time hit schedules.
 #: * ``"soa"`` — precompute + the structure-of-arrays bank automaton:
 #:   all banks stepped as flat-array operations (:mod:`repro.pva.soa`).
-SIM_MODES = ("tick", "skip", "precompute", "soa")
+#: * ``"window"`` — soa + closed-form broadcast-window resolution:
+#:   whole per-bank service chains charged arithmetically from the
+#:   precomputed hit schedules instead of event-stepped
+#:   (:mod:`repro.pva.window`).
+SIM_MODES = ("tick", "skip", "precompute", "soa", "window")
 
 #: Environment variable overriding ``sim_mode`` at construction time
 #: (mirrors ``REPRO_TIME_SKIP`` for the run loop): any of
@@ -426,7 +432,7 @@ class GenParams:
     def uses_precompute(self) -> bool:
         """Whether this mode expands broadcast-time hit schedules
         (:mod:`repro.pva.schedule`)."""
-        return self.sim_mode in ("precompute", "soa")
+        return self.sim_mode in ("precompute", "soa", "window")
 
     # ---------------------------------------------------- serialization
 

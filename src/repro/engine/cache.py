@@ -48,8 +48,10 @@ __all__ = ["ResultCache", "SCHEMA_VERSION"]
 #: versions.  Version 4: keys and documents adopt the canonical
 #: ``GenParams.to_dict()`` config document (channel/rank topology and
 #: ``sram`` timing join the identity) and documents carry
-#: ``config``/``config_key``.
-SCHEMA_VERSION = 4
+#: ``config``/``config_key``.  Version 5: ``sim_mode="window"`` joins
+#: the ladder — documents record the producing mode, so widening the
+#: enum invalidates stored entries.
+SCHEMA_VERSION = 5
 
 
 def _valid_document(document) -> bool:

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import itertools
 import json
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.model import pva_lower_bound
@@ -279,6 +279,10 @@ def run_explore(
                 survivors.append(candidate)
         if not survivors:
             continue
+        # Survivors simulate under the fastest backend on the ladder;
+        # sim_mode does not enter the config key, so each record still
+        # names the *design* (candidate.params), and ineligible runs
+        # fall back to the object backends with identical cycle counts.
         points = [
             ExperimentPoint(
                 system=spec.system,
@@ -288,7 +292,7 @@ def run_explore(
                     alignment=spec.alignment,
                     elements=candidate.elements,
                 ),
-                params=candidate.params,
+                params=replace(candidate.params, sim_mode="window"),
             )
             for candidate in survivors
         ]
@@ -307,12 +311,17 @@ def run_explore(
                 best = cycles
     records.sort(key=lambda r: (r["complexity"], r["config_key"]))
     # Pareto frontier over the simulated points: ascending complexity,
-    # keep each strict improvement in cycles.
+    # keep each strict improvement in cycles.  Equal-complexity ties
+    # contribute at most their cheapest-cycles member (config_key order
+    # within a tie is arbitrary, so the walk considers the tie's best,
+    # not its first).
     frontier: List[Dict] = []
     incumbent: Optional[int] = None
-    for record in records:
-        if record["status"] != "simulated":
-            continue
+    for _, group in itertools.groupby(
+        (r for r in records if r["status"] == "simulated"),
+        key=lambda r: r["complexity"],
+    ):
+        record = min(group, key=lambda r: r["cycles"])
         if incumbent is None or record["cycles"] < incumbent:
             record["pareto"] = True
             frontier.append(record)

@@ -53,7 +53,7 @@ __all__ = [
 
 _DEPRECATED_ALIAS_MESSAGE = (
     "SystemParams(time_skip=..., precompute=...) is deprecated; pass "
-    "sim_mode='tick' | 'skip' | 'precompute' | 'soa' instead"
+    "sim_mode='tick' | 'skip' | 'precompute' | 'soa' | 'window' instead"
 )
 
 
@@ -253,7 +253,7 @@ class SystemParams:
     def uses_precompute(self) -> bool:
         """Whether this mode expands broadcast-time hit schedules
         (:mod:`repro.pva.schedule`)."""
-        return self.sim_mode in ("precompute", "soa")
+        return self.sim_mode in ("precompute", "soa", "window")
 
     def with_banks(self, num_banks: int) -> "SystemParams":
         """A copy of these parameters with a different bank count."""

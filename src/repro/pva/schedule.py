@@ -72,9 +72,29 @@ class BankSchedule:
 
     Immutable by construction: every field is a tuple of ints (or bools),
     so memoized instances can be shared between requests freely.
+
+    ``run_starts``/``run_lengths`` partition the table into maximal
+    same-(internal bank, row) runs — the segments the ``next_same_row``
+    markers delimit.  Element positions ``run_starts[i] ..
+    run_starts[i] + run_lengths[i] - 1`` share the device row
+    ``rows[run_starts[i]]`` in internal bank ``ibanks[run_starts[i]]``;
+    each run costs at most one activate (plus one precharge) and then
+    streams its columns back to back.  The closed-form window backend
+    (:mod:`repro.pva.window`) charges whole runs arithmetically off
+    these segments instead of rediscovering them element by element.
     """
 
-    __slots__ = ("count", "indices", "local_words", "ibanks", "rows", "next_same_row")
+    __slots__ = (
+        "count",
+        "indices",
+        "local_words",
+        "ibanks",
+        "rows",
+        "next_same_row",
+        "run_starts",
+        "run_lengths",
+        "mono_from",
+    )
 
     def __init__(
         self,
@@ -84,12 +104,30 @@ class BankSchedule:
         rows: Tuple[int, ...],
         next_same_row: Tuple[bool, ...],
     ):
-        self.count = len(indices)
+        count = len(indices)
+        self.count = count
         self.indices = indices
         self.local_words = local_words
         self.ibanks = ibanks
         self.rows = rows
         self.next_same_row = next_same_row
+        starts = [0] if count else []
+        for j in range(count - 1):
+            if not next_same_row[j]:
+                starts.append(j + 1)
+        self.run_starts = tuple(starts)
+        self.run_lengths = tuple(
+            (starts[i + 1] if i + 1 < len(starts) else count) - starts[i]
+            for i in range(len(starts))
+        )
+        # Smallest position p with ``ibanks[p:]`` all on one internal
+        # bank: a chain starting at ``pos`` stays on a single internal
+        # bank iff ``pos >= mono_from``.  The window backend's inertness
+        # gates test this before pricing a chain.
+        p = count - 1
+        while p > 0 and ibanks[p - 1] == ibanks[p]:
+            p -= 1
+        self.mono_from = p if p > 0 else 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BankSchedule(count={self.count}, indices={self.indices[:4]}...)"

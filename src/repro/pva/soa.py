@@ -108,6 +108,7 @@ __all__ = [
     "SoaBankAutomaton",
     "broadcast_schedules",
     "clear_soa_cache",
+    "numpy_bound_enabled",
     "soa_cache_info",
     "soa_eligible",
 ]
@@ -115,6 +116,24 @@ __all__ = [
 #: Banks needed before the numpy min-reduction beats a plain ``min()``
 #: over the deadline array (interpreter call overhead dominates below).
 _NUMPY_MIN_BANKS = 64
+
+
+@lru_cache(maxsize=None)
+def numpy_bound_enabled(num_banks: int) -> bool:
+    """Module-level cached decision: accelerate the per-bank deadline
+    min-reduction with numpy for this bank count?
+
+    Folds the feature probe (is numpy importable?), the bank-count
+    threshold (:data:`_NUMPY_MIN_BANKS`) and the ``array('q')`` width
+    check into one memoized answer shared by every array-backed backend
+    (the SoA automaton and the closed-form window backend), instead of
+    re-deriving it per automaton construction.
+    """
+    return (
+        _np is not None
+        and num_banks >= _NUMPY_MIN_BANKS
+        and array("q").itemsize == 8
+    )
 
 #: Memo bound for the all-banks schedule tuples (one entry per distinct
 #: broadcast vector; the per-bank tables underneath share the
@@ -137,6 +156,9 @@ C_LINE = 9  # staged write line (tuple) or None
 C_ISSUED = 10  # has the first operation been issued?
 C_FIB = 11  # first element's internal bank (predictor training)
 C_FROW = 12  # first element's row (predictor training)
+C_RSTARTS = 13  # schedule run_starts tuple (same-row run segmentation)
+C_RLENS = 14  # schedule run_lengths tuple
+C_MONO = 15  # schedule mono_from (single-internal-bank suffix marker)
 
 # Request-FIFO entry layout (replaces repro.pva.request.BCRequest).
 R_READY = 0  # ready cycle (FHP/FHC pipeline + bypass timing)
@@ -343,13 +365,11 @@ class SoaBankAutomaton:
             # the only standing event is the refresh deadline.
             self.bound[b] = self.nr[b]
 
-        self._np_bound = None
-        if (
-            _np is not None
-            and n >= _NUMPY_MIN_BANKS
-            and self.bound.itemsize == 8
-        ):
-            self._np_bound = _np.frombuffer(self.bound, dtype=_np.int64)
+        self._np_bound = (
+            _np.frombuffer(self.bound, dtype=_np.int64)
+            if numpy_bound_enabled(n)
+            else None
+        )
 
     # ------------------------------------------------------------- #
     # Kernel component protocol
@@ -548,6 +568,9 @@ class SoaBankAutomaton:
                             False,
                             sched.ibanks[0],
                             sched.rows[0],
+                            sched.run_starts,
+                            sched.run_lengths,
+                            sched.mono_from,
                         ]
                     )
                     progressed = True

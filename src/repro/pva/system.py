@@ -33,6 +33,7 @@ from repro.params import SystemParams
 from repro.bus.vector_bus import VectorBus
 from repro.pva.bank_controller import BankController
 from repro.pva.soa import SoaBankAutomaton, soa_eligible
+from repro.pva.window import WindowBankAutomaton, window_eligible
 from repro.sdram.device import DeviceStats, SDRAMDevice
 from repro.sim.events import HORIZON, time_skip_enabled
 from repro.sim.kernel import PassiveComponent, SimKernel
@@ -41,6 +42,13 @@ from repro.sim.stats import BusStats, RunResult
 from repro.types import AccessType, ExplicitCommand, VectorCommand
 
 AnyCommand = Union[VectorCommand, ExplicitCommand]
+
+
+def _command_words(command: AnyCommand) -> frozenset:
+    """The set of global word addresses a command touches."""
+    if isinstance(command, ExplicitCommand):
+        return frozenset(command.addresses)
+    return frozenset(command.vector.addresses())
 
 
 def _command_length(command: AnyCommand) -> int:
@@ -64,6 +72,7 @@ class _Transaction:
     done: int = 0
     last_data_cycle: int = -1
     staged: bool = False  # reads: queued for / undergoing STAGE_READ
+    words: frozenset = frozenset()  # writes: word addresses, for WAW gating
 
 
 class _FrontEnd:
@@ -103,6 +112,42 @@ class _FrontEnd:
         self.end_cycle = 0
         self.next_issue_allowed = 0
         self.issue_interval = system.params.issue_interval
+        # WAW-gate cache: the next command's word footprint (computed at
+        # most once per trace index, only when a hazard check needs it).
+        self._waw_words: frozenset = frozenset()
+        self._waw_cmd = -1
+
+    def _words_for_next(self, command: AnyCommand) -> frozenset:
+        if self._waw_cmd != self.next_cmd:
+            self._waw_words = _command_words(command)
+            self._waw_cmd = self.next_cmd
+        return self._waw_words
+
+    def _waw_blocked(self) -> bool:
+        """Write-after-write hazard gate: a write broadcast stalls while
+        an older outstanding *write* covers any of its words.
+
+        The bank schedulers freely reorder same-polarity contexts across
+        internal banks — the polarity rule orders only mixed read/write
+        pairs (a younger context with the opposite polarity of an older
+        one can never overtake it), so WAW is the one cross-command
+        hazard the banks cannot see.  Holding the younger broadcast
+        until every conflicting older write retires restores program
+        order per word; commands with disjoint write footprints — every
+        paper kernel — never stall.
+        """
+        command = self.commands[self.next_cmd]
+        if command.access is not AccessType.WRITE:
+            return False
+        words = None
+        for txn in self.outstanding.values():
+            if not txn.is_write:
+                continue
+            if words is None:
+                words = self._words_for_next(command)
+            if not words.isdisjoint(txn.words):
+                return True
+        return False
 
     def done(self) -> bool:
         """Loop-exit predicate: trace drained, no outstanding work."""
@@ -132,6 +177,7 @@ class _FrontEnd:
                 self.next_cmd < len(commands)
                 and self.free_ids
                 and cycle >= self.next_issue_allowed
+                and not self._waw_blocked()
             )
             if self.stage_queue and not issue_first:
                 acted = True
@@ -199,6 +245,7 @@ class _FrontEnd:
                         is_write=True,
                         issue_cycle=cycle,
                         expected=_command_length(command),
+                        words=self._words_for_next(command),
                     )
                 self.next_cmd += 1
                 self.next_issue_allowed = cycle + self.issue_interval
@@ -544,13 +591,25 @@ class PVAMemorySystem:
         kernel = SimKernel(watchdog=watchdog, time_skip=time_skip)
         kernel.register(front)
         kernel.register(_BusComponent(bus))
-        #: Structure-of-arrays backend: all sixteen bank controllers
-        #: stepped as one flat-array automaton (repro.pva.soa).  Falls
-        #: back to the object components whenever the run is ineligible
-        #: (attached command logs, exotic devices, dirty bank state) —
-        #: same results, object speed.
-        use_soa = self.params.sim_mode == "soa" and soa_eligible(self.banks)
-        if use_soa:
+        #: Array backends: all sixteen bank controllers stepped as one
+        #: flat automaton (repro.pva.soa), with sim_mode="window" adding
+        #: the closed-form chain resolution on top (repro.pva.window).
+        #: capture_data runs take the SoA automaton even under "window"
+        #: (the ISSUE contract: silent, bit-exact fallback), and any
+        #: ineligible run (attached command logs, exotic devices, dirty
+        #: bank state) falls back to the object components — same
+        #: results, object speed.
+        mode = self.params.sim_mode
+        if (
+            mode == "window"
+            and not capture_data
+            and window_eligible(self.banks)
+        ):
+            self._soa = WindowBankAutomaton(
+                self.banks, front, bus, self.params, kernel
+            )
+            kernel.register(self._soa)
+        elif mode in ("soa", "window") and soa_eligible(self.banks):
             self._soa = SoaBankAutomaton(self.banks, front, bus, self.params)
             kernel.register(self._soa)
         else:

@@ -12,9 +12,9 @@ from repro.engine.spec import CACHE_SCHEMA_VERSION
 from repro.params import SystemParams
 
 #: sha256 of the prototype's canonical sorted-key JSON document under
-#: schema version 4.
+#: schema version 5.
 PROTOTYPE_CONFIG_KEY = (
-    "fc4fb00bbcf4e4e0e93cf4c9fd7382cd77db087fed170d4b6aca454486cfdf0e"
+    "579fd57ba0f724f281d1ac21661858bfbf17de785170020ee63dd680562cccff"
 )
 
 
@@ -23,10 +23,10 @@ def test_prototype_config_key_is_pinned(monkeypatch):
     assert SystemParams().config_key() == PROTOTYPE_CONFIG_KEY
 
 
-def test_schema_version_is_four(monkeypatch):
+def test_schema_version_is_five(monkeypatch):
     monkeypatch.delenv(ENV_SIM_MODE, raising=False)
-    assert CONFIG_SCHEMA_VERSION == 4
-    assert SystemParams().to_dict()["schema_version"] == 4
+    assert CONFIG_SCHEMA_VERSION == 5
+    assert SystemParams().to_dict()["schema_version"] == 5
 
 
 def test_engine_cache_schema_tracks_config_schema():

@@ -110,9 +110,9 @@ def test_key_changes_with_sim_mode():
             ),
             "s",
         )
-        for mode in ("tick", "skip", "precompute", "soa")
+        for mode in ("tick", "skip", "precompute", "soa", "window")
     }
-    assert len(keys) == 4
+    assert len(keys) == 5
 
 
 def test_default_salt_carries_version_and_schema():

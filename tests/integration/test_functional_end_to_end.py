@@ -134,6 +134,60 @@ class TestObservationalEquivalence:
             run_and_compare(lambda: PVAMemorySystem(params), trace)
 
 
+class TestWAWOrdering:
+    """Regression: two in-flight *writes* covering the same word must
+    commit in program order.  The bank schedulers reorder same-polarity
+    contexts across internal banks (the polarity rule only orders mixed
+    read/write pairs), so before the front end's WAW gate the younger
+    write could land first — observed under the open/history policies,
+    where the kept-open row let the younger context slip its column in
+    while the older context was activating another internal bank's row.
+    """
+
+    # Hypothesis-minimized: command 1 ends with a write of 1 to word 0
+    # (via an element on another internal bank's row in between),
+    # command 2 overwrites word 0 with 0 while command 1 is in flight.
+    TRACE = [
+        ExplicitCommand(
+            addresses=(0, 0, 0, 0, 0, 308, 0),
+            access=AccessType.WRITE,
+            broadcast_cycles=5,
+            data=(0, 0, 0, 0, 0, 0, 1),
+        ),
+        ExplicitCommand(
+            addresses=(0,),
+            access=AccessType.WRITE,
+            broadcast_cycles=2,
+            data=(0,),
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "policy", ("paper", "close", "open", "history")
+    )
+    def test_all_row_policies(self, policy):
+        import dataclasses
+
+        params = dataclasses.replace(SMALL, row_policy=policy)
+        system = PVAMemorySystem(params)
+        system.run(self.TRACE, capture_data=True)
+        assert system.peek(0) == 0, policy
+        assert system.peek(308) == 0
+
+    def test_all_sim_modes(self):
+        import dataclasses
+
+        from repro.params import SIM_MODES
+
+        for mode in SIM_MODES:
+            params = dataclasses.replace(
+                SMALL, row_policy="open", sim_mode=mode
+            )
+            system = PVAMemorySystem(params)
+            system.run(self.TRACE, capture_data=True)
+            assert system.peek(0) == 0, mode
+
+
 class TestRAWChains:
     def test_repeated_overwrite_of_same_vector(self):
         system = PVAMemorySystem(SMALL)

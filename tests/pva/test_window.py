@@ -1,0 +1,259 @@
+"""Unit tests for the closed-form window backend's pieces.
+
+The differential suite (tests/sim/test_window_equivalence.py) proves
+the backend end-to-end; these tests pin the pieces in isolation — the
+eligibility gate, the same-row run segmentation the arithmetic charges
+off, the shared numpy-bound decision cache, the kernel's bulk ledger
+deposit API (and its error paths), and the system-level selection rule
+that routes ``capture_data`` runs back through the SoA automaton.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import SystemParams
+from repro.pva import system as system_module
+from repro.pva.schedule import pairs_schedule
+from repro.pva.soa import (
+    _NUMPY_MIN_BANKS,
+    SoaBankAutomaton,
+    numpy_bound_enabled,
+    soa_eligible,
+)
+from repro.pva.window import WindowBankAutomaton, window_eligible
+from repro.api import build_system
+from repro.kernels import build_trace, kernel_by_name
+from repro.sim.kernel import SimKernel
+from repro.sim.runner import SimulationLimits, Watchdog
+from repro.types import AccessType, Vector, VectorCommand
+
+
+class TestEligibility:
+    def test_empty_banks_ineligible(self):
+        assert not window_eligible([])
+
+    def test_fresh_pva_sdram_banks_eligible(self):
+        system = build_system("pva-sdram", SystemParams(sim_mode="window"))
+        assert window_eligible(system.banks)
+
+    def test_exotic_device_ineligible(self):
+        fake = [SimpleNamespace(device=SimpleNamespace())]
+        assert not window_eligible(fake)
+
+    def test_matches_soa_gate(self):
+        # The closed form's *extra* conditions are dynamic (per-chain
+        # fallback), so the static gate is exactly the SoA gate.
+        system = build_system("pva-sdram", SystemParams(sim_mode="window"))
+        for banks in ([], system.banks, system.banks[:3]):
+            assert window_eligible(banks) == soa_eligible(banks)
+
+
+class TestRunSegmentation:
+    """run_starts/run_lengths are the closed form's unit of charge: a
+    maximal same-(internal bank, row) span, delimited by the
+    next_same_row markers."""
+
+    def _schedule(self, pairs):
+        params = SystemParams(sim_mode="window")
+        system = build_system("pva-sdram", params)
+        automaton = WindowBankAutomaton(
+            system.banks,
+            SimpleNamespace(
+                outstanding={}, commands=(), next_cmd=0, next_issue_allowed=0
+            ),
+            SimpleNamespace(busy_until=0),
+            params,
+            kernel=None,
+        )
+        return pairs_schedule(tuple(pairs), automaton._geom)
+
+    def test_partition_is_exact(self):
+        sched = self._schedule((word, word) for word in range(6))
+        assert sched.run_starts[0] == 0
+        assert sum(sched.run_lengths) == sched.count
+        # Runs abut: each start is the previous start plus its length.
+        for i in range(1, len(sched.run_starts)):
+            assert sched.run_starts[i] == (
+                sched.run_starts[i - 1] + sched.run_lengths[i - 1]
+            )
+
+    def test_boundaries_follow_next_same_row(self):
+        # A large stride hops rows every element: all runs length 1.
+        sched = self._schedule((word * 4096, word) for word in range(5))
+        starts = set(sched.run_starts)
+        for j in range(sched.count - 1):
+            assert (not sched.next_same_row[j]) == (j + 1 in starts)
+
+    def test_single_element(self):
+        sched = self._schedule([(7, 0)])
+        assert sched.run_starts == (0,)
+        assert sched.run_lengths == (1,)
+
+    def test_empty(self):
+        # pairs_schedule maps an empty pattern to None (no table); an
+        # explicitly empty BankSchedule still partitions into no runs.
+        from repro.pva.schedule import BankSchedule
+
+        assert self._schedule([]) is None
+        sched = BankSchedule((), (), (), (), ())
+        assert sched.run_starts == ()
+        assert sched.run_lengths == ()
+
+
+class TestNumpyBoundDecision:
+    def test_small_bank_counts_stay_scalar(self):
+        assert numpy_bound_enabled(1) is False
+        assert numpy_bound_enabled(_NUMPY_MIN_BANKS - 1) is False
+
+    def test_memoized(self):
+        numpy_bound_enabled.cache_clear()
+        numpy_bound_enabled(_NUMPY_MIN_BANKS)
+        before = numpy_bound_enabled.cache_info().hits
+        numpy_bound_enabled(_NUMPY_MIN_BANKS)
+        assert numpy_bound_enabled.cache_info().hits == before + 1
+
+    def test_threshold_respects_feature_probe(self):
+        from repro.pva import soa
+
+        enabled = numpy_bound_enabled(_NUMPY_MIN_BANKS)
+        assert enabled == (soa._np is not None)
+
+
+def _kernel():
+    return SimKernel(
+        watchdog=Watchdog(
+            1,
+            system="test",
+            limits=SimulationLimits(max_cycles_per_command=4096),
+        )
+    )
+
+
+class _Span:
+    """Minimal self-accounting component: owns one ledger entry and
+    contributes nothing at finalize (bulk deposits only)."""
+
+    name = "span-unit"
+    ledger_names = ("span",)
+
+    def tick(self, cycle):
+        return False
+
+    def next_event_cycle(self, cycle):
+        from repro.sim.events import HORIZON
+
+        return HORIZON
+
+    def account(self, start, end):
+        return (0, 0, end - start)
+
+    def finalize_ledger(self, total_cycles):
+        from repro.sim.stats import ComponentCycles
+
+        return {"span": ComponentCycles()}
+
+    def done(self):
+        return True
+
+
+class TestBulkAccount:
+    def test_deposits_accumulate(self):
+        kernel = _kernel()
+        kernel.register(_Span())
+        kernel.bulk_account("span", busy=5, stalled=2)
+        kernel.bulk_account("span", busy=1, idle=3)
+        entry = kernel._ledger["span"]
+        assert (entry.busy, entry.stalled, entry.idle) == (6, 2, 3)
+
+    def test_unknown_entry_rejected(self):
+        kernel = _kernel()
+        with pytest.raises(ConfigurationError, match="unknown ledger"):
+            kernel.bulk_account("nobody", busy=1)
+
+    def test_negative_delta_rejected(self):
+        kernel = _kernel()
+        kernel.register(_Span())
+        with pytest.raises(ConfigurationError, match="negative delta"):
+            kernel.bulk_account("span", busy=-1)
+
+    def test_rejected_after_finalize(self):
+        kernel = _kernel()
+        kernel.register(_Span())
+        kernel.run(lambda: True)
+        kernel.finalize(kernel.cycle)
+        with pytest.raises(ConfigurationError, match="finalized"):
+            kernel.bulk_account("span", busy=1)
+
+
+class TestBackendSelection:
+    """sim_mode="window" uses the closed form only for non-capturing
+    eligible runs; capture_data silently takes the SoA automaton (the
+    data movement path is identical, so results cannot diverge)."""
+
+    TRACE = [
+        VectorCommand(
+            vector=Vector(base=3, stride=19, length=16),
+            access=AccessType.READ,
+        )
+    ]
+
+    def _chosen(self, monkeypatch, *, capture_data):
+        chosen = []
+
+        class SpyWindow(WindowBankAutomaton):
+            def __init__(self, *args, **kwargs):
+                chosen.append("window")
+                super().__init__(*args, **kwargs)
+
+        class SpySoa(SoaBankAutomaton):
+            def __init__(self, *args, **kwargs):
+                chosen.append("soa")
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(system_module, "WindowBankAutomaton", SpyWindow)
+        monkeypatch.setattr(system_module, "SoaBankAutomaton", SpySoa)
+        system = build_system("pva-sdram", SystemParams(sim_mode="window"))
+        system.run(self.TRACE, capture_data=capture_data)
+        return chosen
+
+    def test_plain_run_uses_window(self, monkeypatch):
+        assert self._chosen(monkeypatch, capture_data=False) == ["window"]
+
+    def test_capture_data_falls_back_to_soa(self, monkeypatch):
+        assert self._chosen(monkeypatch, capture_data=True) == ["soa"]
+
+    def test_fallback_matches_window_cycles(self):
+        params = SystemParams(sim_mode="window")
+        a = build_system("pva-sdram", params).run(
+            self.TRACE, capture_data=True
+        )
+        b = build_system("pva-sdram", params).run(
+            self.TRACE, capture_data=False
+        )
+        assert a.cycles == b.cycles
+        assert a.attribution == b.attribution
+
+
+class TestChainResolution:
+    """The override actually fires: a dense eligible run resolves at
+    least one chain arithmetically (bound fast-forwarded past the event
+    walk's single-step cadence)."""
+
+    def test_dense_run_resolves_chains(self, monkeypatch):
+        resolved = []
+        original = WindowBankAutomaton._resolve
+
+        def spy(self, b, now, h):
+            outcome = original(self, b, now, h)
+            resolved.append(outcome)
+            return outcome
+
+        monkeypatch.setattr(WindowBankAutomaton, "_resolve", spy)
+        params = SystemParams(sim_mode="window")
+        trace = build_trace(
+            kernel_by_name("copy"), stride=19, elements=256, params=params
+        )
+        build_system("pva-sdram", params).run(trace)
+        assert 0 in resolved  # _RESOLVED commits happened

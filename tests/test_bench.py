@@ -128,10 +128,58 @@ class TestRunBench:
         assert "recorded" in text
         assert "measured" in text
 
+    def test_window_section_shape_and_cross_checks(self, quick_report):
+        entry = quick_report["window"]
+        assert entry["system"] == "pva-sdram"
+        # The run itself is the cross-check: run_bench raises unless the
+        # window backend reproduced the tick loop's cycles and ledger.
+        dense = quick_report["systems"]["pva-sdram"]
+        assert entry["simulated_cycles"] == dense["simulated_cycles"]
+        assert entry["attribution"] == dense["attribution"]
+        for buckets in entry["attribution"].values():
+            total = buckets["busy"] + buckets["stalled"] + buckets["idle"]
+            assert total == entry["simulated_cycles"]
+        assert entry["window_seconds"] > 0
+        assert entry["window_cycles_per_second"] > 0
+        assert entry["baseline_recorded_soa_cycles_per_second"] == 66195.1
+        soa = quick_report["soa"]
+        assert (
+            entry["baseline_measured_soa_cycles_per_second"]
+            == soa["soa_cycles_per_second"]
+        )
+        assert entry["speedup_vs_recorded_soa"] > 0
+        assert entry["speedup_vs_measured_soa"] > 0
+
+    def test_format_renders_window(self, quick_report):
+        text = format_bench(quick_report)
+        assert "closed-form window backend" in text
+        assert "vs measured SoA" in text
+
+    def test_history_record_shape(self, quick_report):
+        from repro.bench import history_record
+
+        record = history_record(quick_report)
+        assert record["quick"] is True
+        assert record["elements"] == 64
+        assert record["stride"] == HEADLINE_STRIDE
+        assert record["config_key"] == quick_report["config_key"]
+        for field in (
+            "tick_cycles_per_second",
+            "skip_cycles_per_second",
+            "precompute_cycles_per_second",
+            "soa_cycles_per_second",
+            "window_cycles_per_second",
+            "window_speedup_vs_measured_soa",
+        ):
+            assert record[field] > 0, field
+        # One JSONL line, not a nested report.
+        assert "\n" not in json.dumps(record)
+
 
 class TestBenchCLI:
-    def test_quick_bench_writes_report(self, tmp_path, capsys):
+    def test_quick_bench_writes_report_and_history(self, tmp_path, capsys):
         out = tmp_path / "BENCH_sim.json"
+        history = tmp_path / "BENCH_history.jsonl"
         code = main(
             [
                 "bench",
@@ -144,12 +192,40 @@ class TestBenchCLI:
                 "pva-sdram",
                 "--out",
                 str(out),
+                "--history",
+                str(history),
             ]
         )
         assert code == 0
         report = json.loads(out.read_text())
         assert report["systems"]["pva-sdram"]["simulated_cycles"] > 0
+        lines = history.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["config_key"] == report["config_key"]
+        assert record["date"]
         assert "speedup" in capsys.readouterr().out
+
+    def test_history_suppressed_without_report(self, tmp_path, monkeypatch):
+        # --out '' means "test invocation": neither the report nor the
+        # history line may touch the tracked files in the cwd.
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--elements",
+                "64",
+                "--repeats",
+                "1",
+                "--system",
+                "pva-sdram",
+                "--out",
+                "",
+            ]
+        )
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []
 
     def test_min_speedup_gate_fails_cleanly(self, tmp_path):
         code = main(
@@ -209,3 +285,69 @@ class TestBenchCLI:
             ]
         )
         assert code == 1
+
+    def test_min_window_speedup_gate_fails_cleanly(self):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--elements",
+                "64",
+                "--repeats",
+                "1",
+                "--system",
+                "pva-sdram",
+                "--out",
+                "",
+                "--min-window-speedup",
+                "1000",
+            ]
+        )
+        assert code == 1
+
+    def test_min_window_speedup_requires_window_section(self):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--elements",
+                "64",
+                "--repeats",
+                "1",
+                "--system",
+                "cacheline-serial",
+                "--out",
+                "",
+                "--min-window-speedup",
+                "0.1",
+            ]
+        )
+        assert code == 1
+
+    def test_profile_writes_per_section_summaries(self, tmp_path):
+        out = tmp_path / "report.json"
+        prof = tmp_path / "prof"
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--elements",
+                "64",
+                "--repeats",
+                "1",
+                "--system",
+                "pva-sdram",
+                "--out",
+                str(out),
+                "--history",
+                "",
+                "--profile",
+                str(prof),
+            ]
+        )
+        assert code == 0
+        names = {p.name for p in prof.iterdir()}
+        for section in ("tick", "skip", "soa", "window"):
+            assert f"{section}-pva-sdram.txt" in names, section
+        text = (prof / "window-pva-sdram.txt").read_text()
+        assert "cumulative" in text

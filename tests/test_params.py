@@ -230,7 +230,7 @@ class TestSimMode:
     def test_replace_round_trip_is_stable(self):
         from dataclasses import replace
 
-        for mode in ("tick", "skip", "precompute", "soa"):
+        for mode in ("tick", "skip", "precompute", "soa", "window"):
             params = SystemParams(sim_mode=mode)
             again = replace(params, num_banks=8)
             assert again.sim_mode == mode
